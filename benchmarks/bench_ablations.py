@@ -1,0 +1,64 @@
+"""Benchmark: mechanism ablations (Delta, quotas, deficit cap,
+miss-latency misestimation) on the gcc:eon pair."""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments import ablations
+from repro.experiments.common import EvalConfig
+from repro.workloads.pairs import BenchmarkPair
+
+
+@pytest.fixture(scope="module")
+def result():
+    return ablations.run(
+        BenchmarkPair("gcc", "eon"), EvalConfig(), fairness_target=0.5
+    )
+
+
+def test_ablations_regeneration(benchmark, results_dir):
+    quick = EvalConfig(
+        sample_period=100_000.0,
+        min_instructions=500_000.0,
+        warmup_instructions=250_000.0,
+        st_min_instructions=400_000.0,
+    )
+    timed = benchmark.pedantic(
+        lambda: ablations.run(BenchmarkPair("gcc", "eon"), quick, 0.5),
+        rounds=1, iterations=1,
+    )
+    assert timed.points
+    full = ablations.run(BenchmarkPair("gcc", "eon"), EvalConfig(), 0.5)
+    write_result(results_dir, "ablations", ablations.render(full))
+
+
+def test_ablation_paper_delta_hits_target(benchmark, result):
+    point = benchmark.pedantic(
+        lambda: next(
+            p for p in result.series("delta") if p.value == "250,000"
+        ),
+        rounds=1, iterations=1,
+    )
+    assert point.achieved_fairness == pytest.approx(0.5, abs=0.1)
+
+
+def test_ablation_oversized_delta_tracks_phases_poorly(benchmark, result):
+    series = benchmark.pedantic(
+        lambda: {p.value: p for p in result.series("delta")},
+        rounds=1, iterations=1,
+    )
+    # Section 3.1: Delta "not too large in order to allow performance
+    # phases to be accurately tracked".
+    paper = abs(series["250,000"].achieved_fairness - 0.5)
+    oversized = abs(series["1,000,000"].achieved_fairness - 0.5)
+    assert oversized > paper
+
+
+def test_ablation_wrong_miss_latency_skews_fairness(benchmark, result):
+    series = benchmark.pedantic(
+        lambda: {p.value: p for p in result.series("assumed_miss_lat")},
+        rounds=1, iterations=1,
+    )
+    correct = abs(series["300"].achieved_fairness - 0.5)
+    wrong = abs(series["600"].achieved_fairness - 0.5)
+    assert wrong > correct

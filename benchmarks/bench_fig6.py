@@ -1,0 +1,56 @@
+"""Benchmark: Figure 6 (per-pair SOE throughput, stacked by thread).
+
+Regenerates the 16-pair throughput chart at F = 0, 1/4, 1/2, 1 plus the
+single-thread references, and checks the headline series: the average
+SOE speedup over single thread declines monotonically as F rises
+(paper: 24%, 21%, 19%, 15%).
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments import fig6
+from repro.experiments.common import run_pair
+from repro.workloads.pairs import BenchmarkPair
+
+
+def test_fig6_regeneration(benchmark, eval_config, pair_grid, results_dir):
+    result = benchmark.pedantic(
+        lambda: fig6.run(eval_config, pairs=pair_grid), rounds=3, iterations=1
+    )
+    write_result(results_dir, "fig6", fig6.render(result))
+    assert len(result.pairs) == 16
+
+
+def test_fig6_single_pair_run_cost(benchmark, eval_config):
+    # The per-pair unit of the grid, timed end-to-end.
+    result = benchmark.pedantic(
+        lambda: run_pair(BenchmarkPair("gcc", "eon"), eval_config),
+        rounds=1, iterations=1,
+    )
+    assert result.baseline.total_ipc > 0
+
+
+def test_fig6_average_speedup_ladder(benchmark, eval_config, pair_grid):
+    result = fig6.run(eval_config, pairs=pair_grid)
+    ladder = benchmark.pedantic(result.speedup_ladder, rounds=1, iterations=1)
+    # Paper: +24% / +21% / +19% / +15% for F = 0, 1/4, 1/2, 1.
+    assert ladder[0.0] == pytest.approx(0.24, abs=0.08)
+    assert ladder[1.0] == pytest.approx(0.15, abs=0.08)
+    values = [ladder[level] for level in sorted(ladder)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_fig6_homogeneous_pairs_keep_throughput(benchmark, eval_config, pair_grid):
+    result = fig6.run(eval_config, pairs=pair_grid)
+    drops = benchmark.pedantic(
+        lambda: [
+            1.0 - p.normalized_throughput(1.0)
+            for p in result.pairs
+            if p.pair.is_homogeneous
+        ],
+        rounds=1, iterations=1,
+    )
+    # Paper: "fairness enforcement has only negligible effect on the
+    # throughput when IPC_ST of the two threads is roughly the same".
+    assert max(drops) < 0.03

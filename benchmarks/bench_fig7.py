@@ -1,0 +1,62 @@
+"""Benchmark: Figure 7 (throughput degradation due to enforcement).
+
+Regenerates normalized throughput and forced-switch rates per pair and
+checks the paper's averages -- degradation ordering 2.2% (F=1/4) <
+3.7% (F=1/2) < 7.2% (F=1) -- and the forced-switch correlation.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments import fig7
+
+
+@pytest.fixture(scope="module")
+def result(eval_config, pair_grid):
+    return fig7.run(eval_config, pairs=pair_grid)
+
+
+def test_fig7_regeneration(benchmark, result, results_dir):
+    rendered = benchmark.pedantic(
+        lambda: fig7.render(result), rounds=3, iterations=1
+    )
+    write_result(results_dir, "fig7", rendered)
+    assert "norm tput" in rendered
+
+
+def test_fig7_average_degradations(benchmark, result):
+    degradations = benchmark.pedantic(
+        lambda: {
+            level: result.average_degradation(level)
+            for level in result.enforced_levels
+        },
+        rounds=1, iterations=1,
+    )
+    # Paper: 2.2% / 3.7% / 7.2% average loss at F = 1/4, 1/2, 1.
+    assert degradations[0.25] == pytest.approx(0.022, abs=0.015)
+    assert degradations[0.5] == pytest.approx(0.037, abs=0.02)
+    assert degradations[1.0] == pytest.approx(0.072, abs=0.03)
+    ordered = [degradations[level] for level in sorted(degradations)]
+    assert ordered == sorted(ordered)
+
+
+def test_fig7_forced_switch_rate_grows_with_f(benchmark, result):
+    rates = benchmark.pedantic(
+        lambda: [
+            result.average_forced_switch_rate(level)
+            for level in result.enforced_levels
+        ],
+        rounds=1, iterations=1,
+    )
+    assert rates == sorted(rates)
+    assert rates[-1] > 0
+
+
+def test_fig7_loss_correlates_with_forced_switches(benchmark, result):
+    correlation = benchmark.pedantic(
+        lambda: result.degradation_correlates_with_forced_switches(1.0),
+        rounds=1, iterations=1,
+    )
+    # Paper: "there is a high correlation between the number of forced
+    # thread switches and the effect on the throughput".
+    assert correlation > 0.5

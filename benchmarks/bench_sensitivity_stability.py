@@ -1,0 +1,35 @@
+"""Benchmarks: the sensitivity and stability methodology studies."""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments import sensitivity, stability
+from repro.experiments.common import EvalConfig
+
+
+def test_sensitivity_regeneration(benchmark, results_dir):
+    result = benchmark.pedantic(sensitivity.run, rounds=1, iterations=1)
+    write_result(results_dir, "sensitivity", sensitivity.render(result))
+    # The two monotone laws (Eq. 5 / switch-cost linearity).
+    miss_series = result.series("miss_lat")
+    fairness_values = [row.unenforced_fairness for row in miss_series]
+    assert fairness_values == sorted(fairness_values)
+    switch_costs = [
+        row.f1_throughput_cost for row in result.series("switch_lat")
+    ]
+    assert switch_costs == sorted(switch_costs)
+
+
+def test_stability_regeneration(benchmark, results_dir):
+    result = benchmark.pedantic(
+        lambda: stability.run(seeds=(0, 1), config=EvalConfig.quick()),
+        rounds=1, iterations=1,
+    )
+    full = stability.run(seeds=(0, 1, 2))
+    write_result(results_dir, "stability", stability.render(full))
+    # Aggregates must be seed-stable.
+    for level in (0.25, 0.5, 1.0):
+        _mean, std = full.degradation_spread(level)
+        assert std < 0.01
+    _mean, std = full.unfair_fraction_spread()
+    assert std < 0.15

@@ -1,0 +1,72 @@
+"""Benchmark: raw simulator performance (not a paper figure).
+
+Conventional pytest-benchmark microbenchmarks of the two simulation
+substrates and the mechanism's hot paths, so performance regressions in
+the simulators themselves are visible.
+"""
+
+from repro.core.controller import FairnessController, FairnessParams
+from repro.core.counters import CounterSample
+from repro.core.quota import quotas_from_estimates
+from repro.engine.soe import RunLimits, SoeParams, run_soe
+from repro.workloads.synthetic import uniform_stream
+from repro.workloads.tracegen import MEMORY_SPEC, make_trace
+
+
+def test_segment_engine_throughput(benchmark):
+    def run():
+        streams = [
+            uniform_stream(2.5, 15_000, seed=1),
+            uniform_stream(2.5, 1_000, seed=2),
+        ]
+        return run_soe(
+            streams,
+            params=SoeParams(),
+            limits=RunLimits(min_instructions=200_000),
+        )
+
+    result = benchmark(run)
+    assert result.total_ipc > 0
+
+
+def test_segment_engine_with_controller(benchmark):
+    def run():
+        streams = [
+            uniform_stream(2.5, 15_000, seed=1),
+            uniform_stream(2.5, 1_000, seed=2),
+        ]
+        controller = FairnessController(2, FairnessParams(fairness_target=0.5))
+        return run_soe(
+            streams,
+            controller,
+            SoeParams(),
+            RunLimits(min_instructions=200_000),
+        )
+
+    result = benchmark(run)
+    assert result.total_ipc > 0
+
+
+def test_detailed_core_throughput(benchmark):
+    def run():
+        from repro.cpu.soe_core import run_cpu_single_thread
+
+        return run_cpu_single_thread(
+            make_trace(MEMORY_SPEC, seed=1),
+            min_instructions=4_000,
+            warmup_instructions=1_000,
+        )
+
+    result = benchmark.pedantic(run, rounds=2, iterations=1)
+    assert result.total_ipc > 0
+
+
+def test_quota_computation_hot_path(benchmark):
+    from repro.core.estimator import IpcStEstimator
+
+    estimator = IpcStEstimator(2, 300)
+    estimates = estimator.update_all(
+        [CounterSample(30_000, 12_000, 2), CounterSample(20_000, 8_000, 20)]
+    )
+    quotas = benchmark(lambda: quotas_from_estimates(estimates, 0.5, 300))
+    assert len(quotas) == 2

@@ -1,0 +1,66 @@
+"""Benchmark: Table 2 (Example 2 with and without enforcement).
+
+Regenerates the paper's worked example from both the closed-form model
+and the segment engine, and asserts the table's headline facts:
+thread 2 slows down ~9.2x unenforced, F = 1 equalizes both speedups at
+~0.63, and the enforced quota for thread 1 is ~1,667 instructions.
+
+Every test here both *times* its computation (pytest-benchmark) and
+*checks* the paper-shape property, so ``pytest benchmarks/
+--benchmark-only`` regenerates and verifies the table in one pass.
+"""
+
+import pytest
+
+from conftest import write_result
+from repro.experiments import table2
+
+
+@pytest.fixture(scope="module")
+def result():
+    return table2.run(min_instructions=1_500_000, warmup=1_000_000)
+
+
+def test_table2_regeneration(benchmark, result, results_dir):
+    rendered = benchmark.pedantic(
+        lambda: table2.render(result), rounds=3, iterations=1
+    )
+    write_result(results_dir, "table2", rendered)
+    assert "analytical model" in rendered
+
+
+def test_table2_unenforced_slowdowns(benchmark, result):
+    rows = benchmark.pedantic(
+        lambda: {(r.fairness_target, r.thread): r for r in result.analytical},
+        rounds=1, iterations=1,
+    )
+    # Paper: thread 1's IPC drops by 1.02x, thread 2's by 9.2x at F=0.
+    assert rows[(0.0, 0)].slowdown_factor == pytest.approx(1.02, abs=0.01)
+    assert rows[(0.0, 1)].slowdown_factor == pytest.approx(9.2, abs=0.1)
+
+
+def test_table2_simulated_example2_run(benchmark, result):
+    # Time a full simulated Example 2 grid. The warmup must outlast the
+    # first Delta window (~600k instructions at this pair's throughput)
+    # for the quotas to be active over the whole measured window.
+    simulated = benchmark.pedantic(
+        lambda: table2.run(min_instructions=1_000_000, warmup=700_000),
+        rounds=1, iterations=1,
+    )
+    assert simulated.simulated
+    f1 = [r for r in result.simulated if r.fairness_target == 1.0]
+    # Paper Section 6: both speedups adjust to ~0.63 at F=1.
+    assert f1[0].speedup == pytest.approx(0.63, abs=0.04)
+    assert f1[1].speedup == pytest.approx(0.63, abs=0.04)
+
+
+def test_table2_enforced_quota(benchmark, result):
+    quotas = benchmark.pedantic(
+        lambda: {
+            (r.fairness_target, r.thread): r.quota for r in result.simulated
+        },
+        rounds=1, iterations=1,
+    )
+    # Paper: the first thread is forced to switch every ~1,667
+    # instructions at F=1.
+    assert quotas[(1.0, 0)] == pytest.approx(1_667, rel=0.02)

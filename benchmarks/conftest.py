@@ -1,0 +1,41 @@
+"""Shared fixtures for the paper-reproduction benchmarks.
+
+The evaluation grid (16 pairs x 4 fairness levels + single-thread
+references) backs Figures 6, 7 and 8, so it is computed once per
+benchmark session. Every benchmark writes its reproduced table/series
+to ``benchmarks/results/<id>.txt`` so the artefacts survive pytest's
+output capture.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.common import EvalConfig, run_all_pairs
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def eval_config() -> EvalConfig:
+    """Default evaluation scale (see DESIGN.md): full 16-pair sweep in
+    seconds while preserving every paper-shape property."""
+    return EvalConfig()
+
+
+@pytest.fixture(scope="session")
+def pair_grid(eval_config):
+    """The 16-pair evaluation grid, shared across Figure 6/7/8 benches."""
+    return run_all_pairs(eval_config)
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def write_result(results_dir: pathlib.Path, name: str, text: str) -> None:
+    (results_dir / f"{name}.txt").write_text(text + "\n")

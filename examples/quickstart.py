@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Quickstart: SOE fairness enforcement in a dozen lines.
+
+Runs the paper's motivating scenario -- a compute-bound thread (eon)
+next to a missy one (gcc) -- without and with fairness enforcement, and
+prints throughput, per-thread speedups and the achieved fairness.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import FairnessController, FairnessParams, RunLimits, run_single_thread, run_soe
+from repro.workloads import get_profile
+
+
+def main() -> None:
+    gcc, eon = get_profile("gcc"), get_profile("eon")
+
+    # Real single-thread performance: each benchmark alone on the core.
+    ipc_st = [
+        run_single_thread(
+            profile.stream(seed=i + 1),
+            miss_lat=profile.single_thread_stall(300.0),
+            min_instructions=1_000_000,
+        ).ipc
+        for i, profile in enumerate((gcc, eon))
+    ]
+    print(f"single-thread IPC: gcc={ipc_st[0]:.2f}, eon={ipc_st[1]:.2f}")
+
+    limits = RunLimits(min_instructions=1_500_000, warmup_instructions=1_000_000)
+    for target in (0.0, 0.5):
+        streams = [gcc.stream(seed=1), eon.stream(seed=2)]
+        policy = (
+            FairnessController(2, FairnessParams(fairness_target=target))
+            if target > 0
+            else None
+        )
+        result = run_soe(streams, policy, limits=limits)
+        speedups = result.speedups(ipc_st)
+        print(
+            f"F={target:g}: throughput={result.total_ipc:.2f} IPC, "
+            f"speedups gcc={speedups[0]:.2f} eon={speedups[1]:.2f}, "
+            f"fairness={result.achieved_fairness(ipc_st):.3f}"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""Reproduction of *Fairness and Throughput in Switch on Event
+Multithreading* (Gabor, Weiss, Mendelson -- MICRO 2006).
+
+Quickstart::
+
+    from repro import (
+        FairnessController, FairnessParams, SoeParams, RunLimits,
+        run_soe, run_single_thread,
+    )
+    from repro.workloads import get_profile
+
+    gcc, eon = get_profile("gcc"), get_profile("eon")
+    streams = [gcc.stream(seed=1), eon.stream(seed=2)]
+    policy = FairnessController(2, FairnessParams(fairness_target=0.5))
+    result = run_soe(streams, policy, limits=RunLimits(min_instructions=500_000))
+    ipc_st = [
+        run_single_thread(gcc.stream(seed=1)).ipc,
+        run_single_thread(eon.stream(seed=2)).ipc,
+    ]
+    print(result.total_ipc, result.achieved_fairness(ipc_st))
+
+Package layout:
+
+* :mod:`repro.core` -- the paper's contribution: analytical model,
+  fairness metric, and the enforcement mechanism (counters, estimator,
+  Eq. 9 quotas, deficit counters, controller).
+* :mod:`repro.engine` -- fast event-driven segment-level SOE simulator.
+* :mod:`repro.cpu` -- detailed cycle-level out-of-order core simulator.
+* :mod:`repro.workloads` -- SPEC CPU2000 substitute workload generators.
+* :mod:`repro.metrics` -- throughput/fairness measurement helpers.
+* :mod:`repro.experiments` -- one runner per paper table/figure.
+"""
+
+from repro.core import (
+    FairnessController,
+    FairnessParams,
+    NoFairnessPolicy,
+    SoeModel,
+    SwitchPolicy,
+    ThreadParams,
+    TimeSharingPolicy,
+    fairness,
+    fairness_from_ipcs,
+    harmonic_mean_fairness,
+    speedups,
+    weighted_speedup,
+)
+from repro.engine import (
+    IntervalRecorder,
+    RunLimits,
+    Segment,
+    SegmentStream,
+    SoeEngine,
+    SoeParams,
+    SoeRunResult,
+    run_single_thread,
+    run_soe,
+    stream_from_segments,
+)
+from repro.errors import ConfigurationError, ReproError, SimulationError, WorkloadError
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ConfigurationError",
+    "FairnessController",
+    "FairnessParams",
+    "IntervalRecorder",
+    "NoFairnessPolicy",
+    "ReproError",
+    "RunLimits",
+    "Segment",
+    "SegmentStream",
+    "SimulationError",
+    "SoeEngine",
+    "SoeModel",
+    "SoeParams",
+    "SoeRunResult",
+    "SwitchPolicy",
+    "ThreadParams",
+    "TimeSharingPolicy",
+    "WorkloadError",
+    "__version__",
+    "fairness",
+    "fairness_from_ipcs",
+    "harmonic_mean_fairness",
+    "run_single_thread",
+    "run_soe",
+    "speedups",
+    "stream_from_segments",
+    "weighted_speedup",
+]

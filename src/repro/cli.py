@@ -1,0 +1,149 @@
+"""Command-line front-end: ``python -m repro <experiment>``.
+
+Examples::
+
+    python -m repro list                 # show available experiments
+    python -m repro table2               # reproduce Table 2
+    python -m repro fig7 --scale paper   # Figure 7 at the paper's run lengths
+    python -m repro all                  # run the whole evaluation
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments.common import EvalConfig
+from repro.experiments.registry import experiment_ids, get_experiment
+
+__all__ = ["main", "build_parser"]
+
+#: Experiments whose run() accepts an EvalConfig keyword.
+_CONFIGURED = {"fig5", "fig6", "fig7", "fig8", "ablations"}
+
+#: Experiments that share the 16-pair evaluation grid.
+_GRID = ("fig6", "fig7", "fig8")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="soe-repro",
+        description=(
+            "Reproduction of 'Fairness and Throughput in Switch on Event "
+            "Multithreading' (MICRO 2006)"
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id, 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--scale",
+        choices=("quick", "default", "paper"),
+        default="default",
+        help="run length preset (paper = 6M instructions per thread)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    parser.add_argument(
+        "--output",
+        metavar="FILE",
+        help="also write the rendered text to FILE",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="FILE",
+        help="also write the raw result as JSON to FILE "
+             "(single experiments only)",
+    )
+    return parser
+
+
+def _config_for(scale: str, seed: int) -> EvalConfig:
+    if scale == "paper":
+        base = EvalConfig.paper_scale()
+    elif scale == "quick":
+        base = EvalConfig.quick()
+    else:
+        base = EvalConfig()
+    if seed == base.seed:
+        return base
+    from dataclasses import replace
+
+    return replace(base, seed=seed)
+
+
+def _run_one(
+    experiment_id: str, config: EvalConfig, json_path: Optional[str] = None
+) -> str:
+    experiment = get_experiment(experiment_id)
+    if experiment_id in _CONFIGURED:
+        result = experiment.run(config=config)
+    else:
+        result = experiment.run()
+    if json_path:
+        from repro.experiments.io import write_json
+
+        write_json(result, json_path)
+    return experiment.render(result)
+
+
+def _run_grid(config: EvalConfig) -> str:
+    """Run the 16-pair grid once and render Figures 6-8 from it."""
+    from repro.experiments import fig6, fig7, fig8
+    from repro.experiments.common import run_all_pairs
+
+    pair_results = run_all_pairs(config)
+    sections = [
+        fig6.render(fig6.run(config, pairs=pair_results)),
+        fig7.render(fig7.run(config, pairs=pair_results)),
+        fig8.render(fig8.run(config, pairs=pair_results)),
+    ]
+    return "\n\n".join(sections)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.experiment == "list":
+        for experiment_id in experiment_ids():
+            experiment = get_experiment(experiment_id)
+            print(f"{experiment_id:12s} {experiment.paper_reference:15s} "
+                  f"{experiment.title}")
+        return 0
+
+    config = _config_for(args.scale, args.seed)
+    if args.experiment == "all":
+        sections = [
+            _run_one("table2", config),
+            _run_one("fig3", config),
+            _run_one("fig5", config),
+            _run_grid(config),
+            _run_one("timesharing", config),
+            _run_one("validation", config),
+            _run_one("ablations", config),
+            _run_one("events", config),
+            _run_one("threadcount", config),
+            _run_one("weighted", config),
+            _run_one("sensitivity", config),
+        ]
+        text = "\n\n".join(sections)
+        print(text)
+        if args.output:
+            from pathlib import Path
+
+            Path(args.output).write_text(text + "\n")
+        return 0
+
+    text = _run_one(args.experiment, config, json_path=args.json)
+    print(text)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(text + "\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,64 @@
+"""The paper's primary contribution: SOE fairness model and enforcement.
+
+Submodules
+----------
+model
+    Closed-form analytical model (Eqs. 1-10).
+fairness
+    The fairness metric (Eq. 4) and related single-number metrics.
+counters
+    Per-thread hardware counters (``Instrs``, ``Cycles``, ``Misses``).
+estimator
+    Runtime single-thread IPC estimation (Eqs. 11-13).
+quota
+    The ``IPSw_j`` quota computation (Eq. 9).
+deficit
+    Deficit counters that maintain the quota as a long-run average.
+policy
+    The engine-agnostic :class:`SwitchPolicy` interface plus baselines.
+controller
+    :class:`FairnessController`, the full feedback mechanism.
+"""
+
+from repro.core.controller import FairnessController, FairnessParams, SamplePoint
+from repro.core.counters import CounterSample, HardwareCounters
+from repro.core.deficit import DeficitCounter
+from repro.core.estimator import IpcStEstimator, ThreadEstimate
+from repro.core.fairness import (
+    fairness,
+    weighted_fairness,
+    fairness_from_ipcs,
+    harmonic_mean_fairness,
+    speedups,
+    weighted_speedup,
+)
+from repro.core.latency import MissLatencyMonitor
+from repro.core.model import SoeModel, ThreadParams, compute_ipsw, single_thread_ipc
+from repro.core.policy import NoFairnessPolicy, SwitchPolicy, TimeSharingPolicy
+from repro.core.quota import quotas_from_estimates
+
+__all__ = [
+    "CounterSample",
+    "DeficitCounter",
+    "FairnessController",
+    "FairnessParams",
+    "HardwareCounters",
+    "IpcStEstimator",
+    "MissLatencyMonitor",
+    "NoFairnessPolicy",
+    "SamplePoint",
+    "SoeModel",
+    "SwitchPolicy",
+    "ThreadEstimate",
+    "ThreadParams",
+    "TimeSharingPolicy",
+    "compute_ipsw",
+    "fairness",
+    "fairness_from_ipcs",
+    "harmonic_mean_fairness",
+    "quotas_from_estimates",
+    "single_thread_ipc",
+    "speedups",
+    "weighted_fairness",
+    "weighted_speedup",
+]

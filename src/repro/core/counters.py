@@ -1,0 +1,105 @@
+"""Per-thread hardware counters (paper Section 3.1).
+
+The fairness mechanism needs three counters per thread, sampled every
+``Delta`` cycles:
+
+* ``Instrs_j``  -- instructions retired from thread *j*;
+* ``Cycles_j``  -- cycles the thread was actually running (from the
+  retirement of its first instruction after switch-in until it is
+  switched out; switch overhead is excluded);
+* ``Misses_j``  -- last-level cache misses that caused a thread switch
+  (only the first miss of an overlapped cluster is counted).
+
+From a sample the paper derives ``IPM`` (Eq. 11), ``CPM`` (Eq. 12) and
+the estimated single-thread IPC (Eq. 13). The ``max(Misses, 1)`` in
+Eqs. 11-12 covers the rare window in which a thread missed zero times.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+
+__all__ = ["CounterSample", "HardwareCounters"]
+
+
+@dataclass(frozen=True)
+class CounterSample:
+    """An immutable snapshot of one thread's counters over one window."""
+
+    instructions: float
+    cycles: float
+    misses: int
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0 or self.cycles < 0 or self.misses < 0:
+            raise ConfigurationError("counter values cannot be negative")
+
+    @property
+    def ipm(self) -> float:
+        """Eq. 11: ``IPM = Instrs / max(Misses, 1)``."""
+        return self.instructions / max(self.misses, 1)
+
+    @property
+    def cpm(self) -> float:
+        """Eq. 12: ``CPM = Cycles / max(Misses, 1)``."""
+        return self.cycles / max(self.misses, 1)
+
+    def estimated_single_thread_ipc(self, miss_lat: float) -> float:
+        """Eq. 13: estimated IPC of this thread had it run alone.
+
+        Returns 0.0 for an empty sample (thread never ran in the
+        window); callers are expected to fall back to a previous
+        estimate in that case.
+        """
+        if self.instructions == 0:
+            return 0.0
+        return self.ipm / (self.cpm + miss_lat)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the thread retired nothing during the window."""
+        return self.instructions == 0
+
+
+class HardwareCounters:
+    """Mutable accumulator behind one thread's :class:`CounterSample`.
+
+    The simulators call :meth:`retire` as instructions retire and
+    :meth:`record_miss` when a miss triggers a thread switch; the
+    fairness controller calls :meth:`sample_and_reset` at every
+    ``Delta`` boundary.
+    """
+
+    def __init__(self) -> None:
+        self._instructions = 0.0
+        self._cycles = 0.0
+        self._misses = 0
+
+    def retire(self, instructions: float, cycles: float) -> None:
+        """Account ``instructions`` retired over ``cycles`` running cycles."""
+        if instructions < 0 or cycles < 0:
+            raise ConfigurationError("cannot retire negative work")
+        if not (math.isfinite(instructions) and math.isfinite(cycles)):
+            raise ConfigurationError("retired work must be finite")
+        self._instructions += instructions
+        self._cycles += cycles
+
+    def record_miss(self) -> None:
+        """Account one switch-causing last-level cache miss."""
+        self._misses += 1
+
+    @property
+    def current(self) -> CounterSample:
+        """A snapshot of the counters without resetting them."""
+        return CounterSample(self._instructions, self._cycles, self._misses)
+
+    def sample_and_reset(self) -> CounterSample:
+        """Snapshot the window's counters and clear them for the next window."""
+        sample = self.current
+        self._instructions = 0.0
+        self._cycles = 0.0
+        self._misses = 0
+        return sample

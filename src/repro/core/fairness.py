@@ -1,0 +1,118 @@
+"""Fairness and combined throughput/fairness metrics (paper Sections 2.2, 6).
+
+The paper's fairness metric (Eq. 4) is the minimum ratio between the
+speedups of any two threads, where the speedup of thread *j* is
+``IPC_SOE_j / IPC_ST_j``. The metric lies in ``[0, 1]``: 1 is a
+perfectly fair system (all threads slowed down equally), 0 means some
+thread is completely starved.
+
+For the Section 6 discussion we also implement the two single-number
+alternatives from related work:
+
+* *weighted speedup* (Snavely et al.) -- the sum of the speedups;
+* *harmonic-mean fairness* (Luo et al.) -- ``N / sum(1 / speedup_j)``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "speedups",
+    "fairness",
+    "fairness_from_ipcs",
+    "weighted_fairness",
+    "weighted_speedup",
+    "harmonic_mean_fairness",
+]
+
+
+def speedups(ipc_soe: Sequence[float], ipc_st: Sequence[float]) -> list[float]:
+    """Per-thread speedups ``IPC_SOE_j / IPC_ST_j``.
+
+    ``ipc_st`` values must be positive (a thread that cannot make
+    progress alone has no meaningful speedup); ``ipc_soe`` values may be
+    zero (a starved thread).
+    """
+    if len(ipc_soe) != len(ipc_st):
+        raise ConfigurationError(
+            f"mismatched lengths: {len(ipc_soe)} SOE IPCs vs {len(ipc_st)} ST IPCs"
+        )
+    if not ipc_soe:
+        raise ConfigurationError("at least one thread is required")
+    for value in ipc_st:
+        if not (value > 0 and math.isfinite(value)):
+            raise ConfigurationError(f"single-thread IPC must be positive, got {value}")
+    for value in ipc_soe:
+        if value < 0 or not math.isfinite(value):
+            raise ConfigurationError(f"SOE IPC must be non-negative, got {value}")
+    return [soe / st for soe, st in zip(ipc_soe, ipc_st)]
+
+
+def fairness(thread_speedups: Sequence[float]) -> float:
+    """Eq. 4: the minimum ratio between any two threads' speedups.
+
+    Equals ``min(speedups) / max(speedups)`` and lies in ``[0, 1]``.
+    A single-thread "system" is trivially fair (returns 1.0).
+    """
+    if not thread_speedups:
+        raise ConfigurationError("at least one speedup is required")
+    lo = min(thread_speedups)
+    hi = max(thread_speedups)
+    if lo < 0:
+        raise ConfigurationError("speedups must be non-negative")
+    if hi == 0:
+        # Every thread is starved; the system is degenerate but, per the
+        # metric's definition, not *unfair* among equals.
+        return 1.0
+    return lo / hi
+
+
+def fairness_from_ipcs(ipc_soe: Sequence[float], ipc_st: Sequence[float]) -> float:
+    """Eq. 4 computed directly from the two IPC vectors."""
+    return fairness(speedups(ipc_soe, ipc_st))
+
+
+def weighted_fairness(
+    thread_speedups: Sequence[float], weights: Sequence[float]
+) -> float:
+    """Eq. 4 on priority-normalized speedups.
+
+    With per-thread weights ``w_j``, a system is considered fair when
+    speedups are *proportional to the weights* (a weight-2 thread is
+    entitled to twice the speedup); the metric is therefore Eq. 4
+    applied to ``speedup_j / w_j``. Equal weights recover
+    :func:`fairness`.
+    """
+    if len(weights) != len(thread_speedups):
+        raise ConfigurationError(
+            f"expected {len(thread_speedups)} weights, got {len(weights)}"
+        )
+    if any(w <= 0 for w in weights):
+        raise ConfigurationError("weights must be positive")
+    return fairness([s / w for s, w in zip(thread_speedups, weights)])
+
+
+def weighted_speedup(thread_speedups: Sequence[float]) -> float:
+    """Snavely et al.'s weighted speedup: the sum of the speedups."""
+    if not thread_speedups:
+        raise ConfigurationError("at least one speedup is required")
+    return float(sum(thread_speedups))
+
+
+def harmonic_mean_fairness(thread_speedups: Sequence[float]) -> float:
+    """Luo et al.'s metric: the harmonic mean of the speedups.
+
+    Returns 0.0 when any thread is fully starved (speedup 0), matching
+    the harmonic mean's limit.
+    """
+    if not thread_speedups:
+        raise ConfigurationError("at least one speedup is required")
+    if any(s < 0 for s in thread_speedups):
+        raise ConfigurationError("speedups must be non-negative")
+    if any(s == 0 for s in thread_speedups):
+        return 0.0
+    return len(thread_speedups) / sum(1.0 / s for s in thread_speedups)

@@ -1,0 +1,73 @@
+"""Runtime measurement of switch-event latency (paper Section 6).
+
+The base mechanism assumes a constant, known miss latency (300 cycles).
+Section 6 notes that other switch events -- L1 misses that may hit the
+L2, explicit ``pause`` hints -- have *variable* latencies whose average
+is hard to predict, and proposes measuring them: "a hardware counter
+could count the total number of cycles used for [the event's] handling.
+On every Delta cycles ... the average latency should also be
+calculated, using the hardware counter divided by the number of
+misses."
+
+:class:`MissLatencyMonitor` is that counter pair, one per thread: the
+simulators report each switch-event's actual latency, and the fairness
+controller asks for the measured per-thread average at every ``Delta``
+boundary, falling back to the configured constant while a thread has no
+observations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["MissLatencyMonitor"]
+
+
+class MissLatencyMonitor:
+    """Per-thread average switch-event latency over sampling windows."""
+
+    def __init__(self, num_threads: int, default_latency: float) -> None:
+        if num_threads < 1:
+            raise ConfigurationError("need at least one thread")
+        if default_latency < 0:
+            raise ConfigurationError("default latency must be non-negative")
+        self.default_latency = float(default_latency)
+        self._total = [0.0] * num_threads
+        self._events = [0] * num_threads
+        #: last window's measured averages (None until first observation)
+        self._measured: list[Optional[float]] = [None] * num_threads
+
+    @property
+    def num_threads(self) -> int:
+        return len(self._total)
+
+    def record(self, thread_id: int, latency: float) -> None:
+        """Account one switch event's observed latency."""
+        if latency < 0:
+            raise ConfigurationError("latency cannot be negative")
+        self._total[thread_id] += latency
+        self._events[thread_id] += 1
+
+    def sample_and_reset(self) -> list[float]:
+        """Close the window: per-thread average latency.
+
+        A thread with no events this window keeps its previous measured
+        value; a thread that has never missed reports the configured
+        default.
+        """
+        for tid in range(self.num_threads):
+            if self._events[tid] > 0:
+                self._measured[tid] = self._total[tid] / self._events[tid]
+            self._total[tid] = 0.0
+            self._events[tid] = 0
+        return self.latencies()
+
+    def latency(self, thread_id: int) -> float:
+        """Current best estimate of the thread's event latency."""
+        measured = self._measured[thread_id]
+        return self.default_latency if measured is None else measured
+
+    def latencies(self) -> list[float]:
+        return [self.latency(tid) for tid in range(self.num_threads)]

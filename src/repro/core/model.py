@@ -1,0 +1,238 @@
+"""Analytical model of Switch-on-Event multithreading (paper Section 2).
+
+The paper models a single-threaded program as a sequence of instruction
+segments delimited by long-latency last-level cache misses:
+
+* ``IPM`` -- average useful instructions between two consecutive misses.
+* ``CPM`` -- average execution cycles between those misses (excluding the
+  miss stall itself).
+
+From those two characteristics and the machine parameters ``miss_lat``
+(average memory access latency) and ``switch_lat`` (thread switch
+overhead), the model predicts single-thread IPC (Eq. 1), per-thread SOE
+IPC (Eq. 2 / Eq. 6), fairness (Eq. 4 / 5 / 7), the instruction quota
+``IPSw`` that enforces a target fairness (Eq. 9), and total SOE
+throughput (Eq. 10).
+
+This module is pure arithmetic: it contains no simulation state and is
+used both by the offline analysis experiments (Table 2, Figure 3) and by
+the tests that validate the simulators against the closed-form model.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ThreadParams",
+    "SoeModel",
+    "compute_ipsw",
+    "single_thread_ipc",
+]
+
+
+@dataclass(frozen=True)
+class ThreadParams:
+    """Program-behaviour parameters of one thread (paper Section 2.1).
+
+    Parameters
+    ----------
+    ipc_no_miss:
+        Retirement rate, in instructions per cycle, while the thread is
+        executing between misses (i.e. excluding miss stalls).
+    ipm:
+        Average number of instructions between two consecutive
+        last-level cache misses (Instructions Per Miss).
+    """
+
+    ipc_no_miss: float
+    ipm: float
+
+    def __post_init__(self) -> None:
+        if not (self.ipc_no_miss > 0 and math.isfinite(self.ipc_no_miss)):
+            raise ConfigurationError(
+                f"ipc_no_miss must be positive and finite, got {self.ipc_no_miss}"
+            )
+        if not (self.ipm > 0 and math.isfinite(self.ipm)):
+            raise ConfigurationError(f"ipm must be positive and finite, got {self.ipm}")
+
+    @property
+    def cpm(self) -> float:
+        """Average cycles between misses (Cycles Per Miss)."""
+        return self.ipm / self.ipc_no_miss
+
+    def single_thread_ipc(self, miss_lat: float) -> float:
+        """IPC of this thread when executed alone (Eq. 1)."""
+        return self.ipm / (self.cpm + miss_lat)
+
+
+def single_thread_ipc(ipm: float, cpm: float, miss_lat: float) -> float:
+    """Eq. 1: ``IPC_ST = IPM / (CPM + miss_lat)``.
+
+    Free-function form used by the runtime estimator, where IPM and CPM
+    come from hardware counters rather than from :class:`ThreadParams`.
+    """
+    if cpm + miss_lat <= 0:
+        raise ConfigurationError("cpm + miss_lat must be positive")
+    return ipm / (cpm + miss_lat)
+
+
+def compute_ipsw(
+    ipm: float,
+    ipc_st: float,
+    cpm_min: float,
+    miss_lat: float,
+    fairness_target: float,
+) -> float:
+    """Eq. 9: the per-thread instructions-per-switch quota.
+
+    ``IPSw_j = min(IPM_j, IPC_ST_j / F * (CPM_min + miss_lat))``
+
+    A target fairness of 0 disables forced switches entirely, which is
+    represented by an infinite quota (the ``min`` with ``IPM`` in the
+    paper exists only because a quota above IPM never fires -- the thread
+    misses first -- so for F=0 we simply return ``inf``).
+    """
+    if not 0.0 <= fairness_target <= 1.0:
+        raise ConfigurationError(
+            f"fairness target must be in [0, 1], got {fairness_target}"
+        )
+    if fairness_target == 0.0:
+        return math.inf
+    quota = ipc_st * (cpm_min + miss_lat) / fairness_target
+    return min(ipm, quota)
+
+
+class SoeModel:
+    """Two-or-more-thread analytical SOE model (paper Section 2).
+
+    The model answers "what if" questions without simulation: given the
+    per-thread program characteristics, what are the single-thread IPCs,
+    the per-thread SOE IPCs with or without fairness enforcement, the
+    resulting fairness, and total throughput.
+
+    Example (the paper's Example 2)::
+
+        >>> model = SoeModel(
+        ...     [ThreadParams(2.5, 15_000), ThreadParams(2.5, 1_000)],
+        ...     miss_lat=300, switch_lat=25)
+        >>> round(model.fairness(0.0), 2)
+        0.11
+        >>> round(model.fairness(1.0), 2)
+        1.0
+    """
+
+    def __init__(
+        self,
+        threads: Sequence[ThreadParams],
+        miss_lat: float = 300.0,
+        switch_lat: float = 25.0,
+    ) -> None:
+        if len(threads) < 2:
+            raise ConfigurationError("SoeModel needs at least two threads")
+        if miss_lat < 0 or switch_lat < 0:
+            raise ConfigurationError("latencies must be non-negative")
+        self.threads = list(threads)
+        self.miss_lat = float(miss_lat)
+        self.switch_lat = float(switch_lat)
+
+    # ------------------------------------------------------------------
+    # Single-thread characteristics
+    # ------------------------------------------------------------------
+    def single_thread_ipcs(self) -> list[float]:
+        """Eq. 1 for every thread."""
+        return [t.single_thread_ipc(self.miss_lat) for t in self.threads]
+
+    @property
+    def cpm_min(self) -> float:
+        """``CPM_min = min_j CPM_j`` (used by Eq. 9)."""
+        return min(t.cpm for t in self.threads)
+
+    # ------------------------------------------------------------------
+    # Quotas and switch behaviour
+    # ------------------------------------------------------------------
+    def quotas(self, fairness_target: float) -> list[float]:
+        """Eq. 9 quota for every thread at the given target fairness."""
+        cpm_min = self.cpm_min
+        return [
+            compute_ipsw(
+                t.ipm,
+                t.single_thread_ipc(self.miss_lat),
+                cpm_min,
+                self.miss_lat,
+                fairness_target,
+            )
+            for t in self.threads
+        ]
+
+    def _ipsw_cpsw(self, fairness_target: float) -> tuple[list[float], list[float]]:
+        """Effective (IPSw, CPSw) per thread for a target fairness.
+
+        A thread whose quota exceeds its IPM only ever switches on
+        misses, so its effective instructions/cycles per switch are its
+        IPM/CPM. Otherwise it runs ``IPSw`` instructions at its
+        ``ipc_no_miss`` rate before a forced switch.
+        """
+        ipsws = []
+        cpsws = []
+        for thread, quota in zip(self.threads, self.quotas(fairness_target)):
+            ipsw = min(quota, thread.ipm)
+            ipsws.append(ipsw)
+            cpsws.append(ipsw / thread.ipc_no_miss)
+        return ipsws, cpsws
+
+    # ------------------------------------------------------------------
+    # SOE performance
+    # ------------------------------------------------------------------
+    def soe_ipcs(self, fairness_target: float = 0.0) -> list[float]:
+        """Per-thread SOE IPC (Eq. 6; Eq. 2 when ``fairness_target`` is 0).
+
+        ``IPC_SOE_j = IPSw_j / sum_k(CPSw_k + switch_lat)``
+        """
+        ipsws, cpsws = self._ipsw_cpsw(fairness_target)
+        round_cycles = sum(cpsws) + self.switch_lat * len(self.threads)
+        return [ipsw / round_cycles for ipsw in ipsws]
+
+    def throughput(self, fairness_target: float = 0.0) -> float:
+        """Total SOE IPC (Eq. 10)."""
+        return sum(self.soe_ipcs(fairness_target))
+
+    def speedups(self, fairness_target: float = 0.0) -> list[float]:
+        """Per-thread speedup ``IPC_SOE_j / IPC_ST_j`` (the paper's key ratio)."""
+        return [
+            soe / st
+            for soe, st in zip(self.soe_ipcs(fairness_target), self.single_thread_ipcs())
+        ]
+
+    def fairness(self, fairness_target: float = 0.0) -> float:
+        """Predicted achieved fairness (Eq. 4 over the modelled speedups).
+
+        With ``fairness_target == 0`` this reduces to Eq. 5:
+        ``min_{j,k} (CPM_j + miss_lat) / (CPM_k + miss_lat)``.
+        """
+        speedups = self.speedups(fairness_target)
+        return min(speedups) / max(speedups)
+
+    def throughput_change(self, fairness_target: float) -> float:
+        """Relative throughput change vs. no enforcement (Figure 3's y-axis).
+
+        Negative values are degradation; positive values are the
+        counter-intuitive improvement the paper notes for pairs with
+        different ``IPC_no_miss``.
+        """
+        base = self.throughput(0.0)
+        return self.throughput(fairness_target) / base - 1.0
+
+    def soe_speedup_over_single_thread(self, fairness_target: float = 0.0) -> float:
+        """Throughput gain of SOE over running the threads alone (footnote 6).
+
+        Defined as total SOE IPC divided by the mean single-thread IPC:
+        the gain in delivered instructions per cycle compared to giving
+        each thread the whole machine in turn.
+        """
+        sts = self.single_thread_ipcs()
+        return self.throughput(fairness_target) / (sum(sts) / len(sts))

@@ -1,0 +1,81 @@
+"""Branch prediction: gshare direction predictor plus a BTB.
+
+The predictor state is shared between SOE threads and survives thread
+switches (Section 4.1: "branch prediction history [is] shared, and
+not flushed on switch" -- required to keep performance after switches,
+at the cost of cross-thread aliasing, which is one of the resource-
+sharing effects that make each thread's SOE performance slightly lower
+than its single-thread performance).
+"""
+
+from __future__ import annotations
+
+from repro.cpu.isa import MicroOp, OpClass
+from repro.errors import ConfigurationError
+
+__all__ = ["BranchPredictor"]
+
+
+class BranchPredictor:
+    """gshare (global history XOR pc) with 2-bit counters and a BTB."""
+
+    def __init__(
+        self,
+        history_bits: int = 12,
+        table_entries: int = 4096,
+        btb_entries: int = 2048,
+    ) -> None:
+        if history_bits <= 0 or history_bits > 30:
+            raise ConfigurationError("history_bits must be in 1..30")
+        for value in (table_entries, btb_entries):
+            if value <= 0 or value & (value - 1):
+                raise ConfigurationError("table sizes must be powers of two")
+        self.history_bits = history_bits
+        self.table_entries = table_entries
+        self.btb_entries = btb_entries
+        self._history = 0
+        self._history_mask = (1 << history_bits) - 1
+        self._counters = [2] * table_entries  # weakly taken
+        self._btb: dict[int, int] = {}
+        self.predictions = 0
+        self.mispredictions = 0
+
+    def _index(self, pc: int) -> int:
+        return ((pc >> 2) ^ self._history) % self.table_entries
+
+    def predict_and_update(self, uop: MicroOp) -> bool:
+        """Predict a branch, grade it against the trace's actual
+        outcome, train the tables, and return True when the prediction
+        was correct (direction *and*, for taken branches, target)."""
+        if uop.opclass is not OpClass.BRANCH:
+            raise ConfigurationError("predictor fed a non-branch uop")
+        index = self._index(uop.pc)
+        predicted_taken = self._counters[index] >= 2
+        btb_target = self._btb.get((uop.pc >> 2) % self.btb_entries)
+        correct = predicted_taken == uop.taken
+        if uop.taken and btb_target != uop.target:
+            correct = False
+
+        # Train.
+        if uop.taken and self._counters[index] < 3:
+            self._counters[index] += 1
+        elif not uop.taken and self._counters[index] > 0:
+            self._counters[index] -= 1
+        if uop.taken:
+            self._btb[(uop.pc >> 2) % self.btb_entries] = uop.target
+        self._history = ((self._history << 1) | int(uop.taken)) & self._history_mask
+
+        self.predictions += 1
+        if not correct:
+            self.mispredictions += 1
+        return correct
+
+    @property
+    def misprediction_rate(self) -> float:
+        if self.predictions == 0:
+            return 0.0
+        return self.mispredictions / self.predictions
+
+    def reset_statistics(self) -> None:
+        self.predictions = 0
+        self.mispredictions = 0

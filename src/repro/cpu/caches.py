@@ -1,0 +1,108 @@
+"""Set-associative LRU caches (L1I, L1D, unified L2).
+
+Purely a tag store: the simulator models hit/miss timing, not data.
+Caches are shared between SOE threads and are *not* flushed on thread
+switches (Section 4.1) -- the address streams of the two threads simply
+compete for the same sets, which is where cache-sharing interference
+comes from in the detailed model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.cpu.machine import CacheConfig
+from repro.errors import ConfigurationError
+
+__all__ = ["Cache"]
+
+
+class Cache:
+    """One cache level with true-LRU replacement and write-back state.
+
+    Each resident line carries a dirty bit; :meth:`access` with
+    ``is_write=True`` marks the line dirty, and a miss that evicts a
+    dirty victim reports it so the hierarchy can charge the write-back
+    bus traffic.
+    """
+
+    def __init__(self, config: CacheConfig, name: str = "") -> None:
+        self.config = config
+        self.name = name
+        # One OrderedDict per set: tag -> dirty flag, most recent last.
+        self._sets: list[OrderedDict] = [
+            OrderedDict() for _ in range(config.num_sets)
+        ]
+        self.hits = 0
+        self.misses = 0
+        self.writebacks = 0
+
+    def _locate(self, address: int) -> tuple[int, int]:
+        if address < 0:
+            raise ConfigurationError("addresses must be non-negative")
+        line = address // self.config.line_bytes
+        return line % self.config.num_sets, line // self.config.num_sets
+
+    def lookup(self, address: int, update_lru: bool = True) -> bool:
+        """Probe without allocating: True on hit."""
+        set_index, tag = self._locate(address)
+        cache_set = self._sets[set_index]
+        if tag in cache_set:
+            if update_lru:
+                cache_set.move_to_end(tag)
+            return True
+        return False
+
+    def access(self, address: int, is_write: bool = False) -> bool:
+        """Access and allocate on miss: returns True on hit.
+
+        The miss path inserts the line immediately (fill timing is the
+        memory hierarchy's business, not the tag store's). Use
+        :attr:`last_eviction_was_dirty` to learn whether the allocation
+        displaced a dirty victim.
+        """
+        set_index, tag = self._locate(address)
+        cache_set = self._sets[set_index]
+        self.last_eviction_was_dirty = False
+        self.last_victim_line = None
+        if tag in cache_set:
+            cache_set.move_to_end(tag)
+            if is_write:
+                cache_set[tag] = True
+            self.hits += 1
+            return True
+        self.misses += 1
+        cache_set[tag] = is_write
+        if len(cache_set) > self.config.associativity:
+            victim_tag, dirty = cache_set.popitem(last=False)  # evict LRU
+            self.last_victim_line = (
+                victim_tag * self.config.num_sets + set_index
+            )
+            if dirty:
+                self.writebacks += 1
+                self.last_eviction_was_dirty = True
+        return False
+
+    #: Set by the most recent :meth:`access`; True when it evicted a
+    #: dirty line (write-back traffic).
+    last_eviction_was_dirty: bool = False
+    #: Line number of the most recent eviction victim (None if the last
+    #: access evicted nothing).
+    last_victim_line = None
+
+    def contains(self, address: int) -> bool:
+        """Non-destructive membership check (no LRU update)."""
+        return self.lookup(address, update_lru=False)
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+    def reset_statistics(self) -> None:
+        """Clear counters (used after cache warmup), keep contents."""
+        self.hits = 0
+        self.misses = 0

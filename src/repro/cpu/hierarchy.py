@@ -1,0 +1,160 @@
+"""Memory-hierarchy composition: L1I / L1D -> unified L2 -> bus -> memory.
+
+Answers pure timing queries for the pipeline: "an access to ``address``
+starts now; when is the data ready, and did it miss the L2?" Outstanding
+line fills are tracked so clustered misses to the same line merge
+(MSHR behaviour) -- this is what lets the out-of-order core overlap
+misses, the effect the paper's footnote 5 calls the prefetching effect
+of its triggering scheme.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cpu.bus import PipelinedBus
+from repro.cpu.caches import Cache
+from repro.cpu.machine import MachineConfig
+from repro.cpu.memory import FixedLatencyMemory
+from repro.cpu.tlb import Tlb
+
+__all__ = ["AccessResult", "MemoryHierarchy"]
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Timing outcome of one cache access."""
+
+    ready_at: int
+    #: "l1", "l2" or "memory" -- where the data came from
+    level: str
+    #: True when the access needed a memory fill (the SOE switch event)
+    l2_miss: bool
+    #: True when the access triggered a TLB page walk
+    tlb_walk: bool
+    #: True when the miss merged into an already-outstanding line fill
+    merged: bool = False
+
+
+class MemoryHierarchy:
+    """Shared cache hierarchy for all SOE threads."""
+
+    def __init__(self, config: MachineConfig) -> None:
+        self.config = config
+        self.l1i = Cache(config.l1i, "L1I")
+        self.l1d = Cache(config.l1d, "L1D")
+        self.l2 = Cache(config.l2, "L2")
+        self.itlb = Tlb(config.itlb_entries, config.page_bytes, "iTLB")
+        self.dtlb = Tlb(config.dtlb_entries, config.page_bytes, "dTLB")
+        self.bus = PipelinedBus(config.bus_cycles_per_transfer)
+        if config.memory_model == "dram":
+            from repro.cpu.dram import BankedDram
+
+            self.memory = BankedDram()
+        else:
+            self.memory = FixedLatencyMemory(config.memory_latency)
+        #: line number -> fill-complete time, for outstanding fills
+        self._inflight: dict[int, int] = {}
+        self.prefetches = 0
+
+    # ------------------------------------------------------------------
+    def _line(self, address: int) -> int:
+        return address // self.config.l2.line_bytes
+
+    def _memory_fill(self, address: int, start: int, now: int) -> tuple[int, bool]:
+        """Schedule (or merge into) a memory fill; returns (ready, merged)."""
+        line = self._line(address)
+        outstanding = self._inflight.get(line)
+        if outstanding is not None and outstanding > now:
+            return outstanding, True
+        bus_start = self.bus.request(start)
+        ready = self.memory.fill(address, bus_start)
+        self._inflight[line] = ready
+        if len(self._inflight) > 256:
+            self._inflight = {
+                l: t for l, t in self._inflight.items() if t > now
+            }
+        return ready, False
+
+    def _maybe_prefetch(self, address: int, now: int) -> None:
+        """Next-line prefetch into the L2, overlapped with the demand
+        fill (no pipeline stall; consumes bus/bank bandwidth)."""
+        if self.config.prefetch != "next_line":
+            return
+        next_line_address = address + self.config.l2.line_bytes
+        if self.l2.lookup(next_line_address, update_lru=False):
+            return
+        line = self._line(next_line_address)
+        outstanding = self._inflight.get(line)
+        if outstanding is not None and outstanding > now:
+            return
+        self.l2.access(next_line_address)
+        if self.l2.last_eviction_was_dirty:
+            self.bus.request(now)
+        bus_start = self.bus.request(now)
+        self._inflight[line] = self.memory.fill(next_line_address, bus_start)
+        self.prefetches += 1
+
+    def _access(
+        self, l1: Cache, tlb: Tlb, address: int, now: int, is_write: bool = False
+    ) -> AccessResult:
+        walk = not tlb.access(address)
+        start = now + (self.config.page_walk_latency if walk else 0)
+        # A tag hit on a line whose fill is still outstanding must wait
+        # for the fill (MSHR merge): the data is not there yet.
+        outstanding = self._inflight.get(self._line(address))
+        if outstanding is not None and outstanding > now:
+            l1.access(address, is_write)
+            return AccessResult(
+                max(outstanding, start + l1.config.latency),
+                "memory",
+                True,
+                walk,
+                merged=True,
+            )
+        if l1.access(address, is_write):
+            return AccessResult(start + l1.config.latency, "l1", False, walk)
+        after_l1 = start + l1.config.latency
+        # An L1 dirty eviction writes its victim back into the L2
+        # (on-chip, no bus traffic).
+        if l1.last_eviction_was_dirty and l1.last_victim_line is not None:
+            victim_address = l1.last_victim_line * l1.config.line_bytes
+            self.l2.access(victim_address, is_write=True)
+            if self.l2.last_eviction_was_dirty:
+                self.bus.request(now)
+        if self.l2.access(address, is_write):
+            if l1 is self.l1d:
+                self._maybe_prefetch(address, now)
+            return AccessResult(
+                after_l1 + self.config.l2.latency, "l2", False, walk
+            )
+        # An L2 dirty eviction goes to memory over the bus.
+        if self.l2.last_eviction_was_dirty:
+            self.bus.request(now)
+        after_l2 = after_l1 + self.config.l2.latency
+        ready, merged = self._memory_fill(address, after_l2, now)
+        if l1 is self.l1d:
+            self._maybe_prefetch(address, now)
+        return AccessResult(max(ready, after_l2), "memory", True, walk, merged)
+
+    # ------------------------------------------------------------------
+    def fetch_access(self, pc: int, now: int) -> AccessResult:
+        """Instruction fetch for the line containing ``pc``."""
+        return self._access(self.l1i, self.itlb, pc, now)
+
+    def data_access(self, address: int, now: int) -> AccessResult:
+        """Data read (the load path; the SOE trigger rides on this)."""
+        return self._access(self.l1d, self.dtlb, address, now)
+
+    def store_access(self, address: int, now: int) -> AccessResult:
+        """Senior-store drain: write-allocate, marks the line dirty,
+        never stalls retirement."""
+        return self._access(self.l1d, self.dtlb, address, now, is_write=True)
+
+    # ------------------------------------------------------------------
+    def reset_statistics(self) -> None:
+        """Clear counters after warmup (contents are kept warm)."""
+        for cache in (self.l1i, self.l1d, self.l2):
+            cache.reset_statistics()
+        for tlb in (self.itlb, self.dtlb):
+            tlb.reset_statistics()

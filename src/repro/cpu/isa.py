@@ -1,0 +1,82 @@
+"""Micro-operation model for the detailed core simulator.
+
+The simulator is trace-driven: workloads supply a stream of
+:class:`MicroOp` records carrying everything the timing model needs --
+operation class, register dependencies, memory address, and the
+branch's actual outcome (so the predictor can be graded against it).
+Architectural *values* are never computed; only timing is modelled.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.errors import ConfigurationError
+
+__all__ = ["OpClass", "MicroOp", "NUM_ARCH_REGS"]
+
+#: Size of the architectural register file visible to traces. Sixteen
+#: integer-ish registers is enough to express realistic dependency
+#: chains; the renamer removes false dependencies anyway.
+NUM_ARCH_REGS = 16
+
+
+class OpClass(enum.Enum):
+    """Execution classes, each with its own latency and port binding."""
+
+    ALU = "alu"
+    MUL = "mul"
+    FP = "fp"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    NOP = "nop"
+
+
+@dataclass(frozen=True)
+class MicroOp:
+    """One trace record.
+
+    Parameters
+    ----------
+    opclass:
+        Execution class.
+    pc:
+        Instruction address (drives the I-cache, iTLB and predictor).
+    dest:
+        Destination architectural register, or None.
+    srcs:
+        Source architectural registers (dependencies).
+    address:
+        Effective address for LOAD/STORE.
+    taken / target:
+        Actual branch outcome; ``target`` is the address control flow
+        continues at (used only to grade the BTB).
+    """
+
+    opclass: OpClass
+    pc: int
+    dest: Optional[int] = None
+    srcs: tuple[int, ...] = field(default=())
+    address: Optional[int] = None
+    taken: bool = False
+    target: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.pc < 0:
+            raise ConfigurationError("pc must be non-negative")
+        for reg in self.srcs:
+            if not 0 <= reg < NUM_ARCH_REGS:
+                raise ConfigurationError(f"source register {reg} out of range")
+        if self.dest is not None and not 0 <= self.dest < NUM_ARCH_REGS:
+            raise ConfigurationError(f"dest register {self.dest} out of range")
+        if self.opclass in (OpClass.LOAD, OpClass.STORE) and self.address is None:
+            raise ConfigurationError(f"{self.opclass.value} requires an address")
+        if self.opclass is OpClass.BRANCH and self.target is None:
+            raise ConfigurationError("branch requires a target")
+
+    @property
+    def is_memory(self) -> bool:
+        return self.opclass in (OpClass.LOAD, OpClass.STORE)

@@ -1,0 +1,28 @@
+"""Main memory: the paper's fixed-latency model.
+
+Section 4.1 uses a constant 300-cycle memory (75 ns at 4 GHz). The
+class exists as a seam -- a banked or variable-latency model can be
+dropped in without touching the hierarchy -- and counts fills for the
+statistics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigurationError
+
+__all__ = ["FixedLatencyMemory"]
+
+
+class FixedLatencyMemory:
+    """Constant-latency memory."""
+
+    def __init__(self, latency: int) -> None:
+        if latency < 0:
+            raise ConfigurationError("memory latency must be non-negative")
+        self.latency = latency
+        self.fills = 0
+
+    def fill(self, address: int, start: int) -> int:
+        """Begin a line fill at ``start``; returns data-ready time."""
+        self.fills += 1
+        return start + self.latency

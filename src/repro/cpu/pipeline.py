@@ -1,0 +1,621 @@
+"""Cycle-level out-of-order pipeline with SOE multithreading.
+
+The pipeline models the paper's P6-derived core (Section 4.1):
+
+* 4-wide fetch / rename / retire; ROB, RS, load and store buffers;
+* gshare + BTB branch prediction (shared, not flushed on switch);
+* L1I/L1D, unified L2, i/dTLB with page walks, pipelined bus, fixed
+  300-cycle memory; clustered misses to one line merge (overlap);
+* retirement-stage SOE trigger: when the ROB head is a load flagged
+  with an unresolved L2 miss, the active thread is switched out, the
+  pipeline drains (``drain_latency``), and in-flight uops are returned
+  to the thread's trace cursor for later refetch;
+* senior stores keep draining to the cache after a switch, and loads
+  forward only from same-thread stores;
+* the attached :class:`~repro.core.policy.SwitchPolicy` adds the
+  fairness mechanism's instruction quota and the maximum-cycles quota.
+
+Trace-driven modelling choices (standard for this class of simulator):
+wrong-path execution is approximated by stalling fetch from a
+mispredicted branch until it resolves plus a redirect penalty, and
+architectural values are never computed.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.policy import NoFairnessPolicy, SwitchPolicy
+from repro.cpu.branch import BranchPredictor
+from repro.cpu.hierarchy import AccessResult, MemoryHierarchy
+from repro.cpu.isa import NUM_ARCH_REGS, MicroOp, OpClass
+from repro.cpu.machine import MachineConfig
+from repro.cpu.program import ProgramCursor, TraceProgram
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["CpuThreadStats", "CpuRunResult", "OooPipeline"]
+
+
+class _Inflight:
+    """One in-flight uop instance."""
+
+    __slots__ = (
+        "uop", "thread_id", "seq", "visible_at", "deps", "completed_at",
+        "issued", "access", "access_issued_at", "mispredicted", "forwarded",
+    )
+
+    def __init__(self, uop: MicroOp, thread_id: int, seq: int, visible_at: int):
+        self.uop = uop
+        self.thread_id = thread_id
+        self.seq = seq
+        self.visible_at = visible_at
+        self.deps: list["_Inflight"] = []
+        self.completed_at: Optional[int] = None
+        self.issued = False
+        self.access: Optional[AccessResult] = None
+        self.access_issued_at: Optional[int] = None
+        self.mispredicted = False
+        self.forwarded = False
+
+    def ready(self, now: int) -> bool:
+        return all(
+            d.completed_at is not None and d.completed_at <= now for d in self.deps
+        )
+
+
+class _ThreadContext:
+    """Per-thread fetch/rename state and raw statistics."""
+
+    def __init__(self, thread_id: int, program: TraceProgram):
+        self.thread_id = thread_id
+        self.cursor: ProgramCursor = program.cursor()
+        #: arch reg -> producing in-flight uop (None = value ready)
+        self.producers: list[Optional[_Inflight]] = [None] * NUM_ARCH_REGS
+        self.ready_at = 0
+        self.last_dispatch_seq = -1
+        self.current_fetch_line: Optional[int] = None
+
+        self.retired = 0
+        self.run_cycles = 0
+        self.misses = 0
+        self.miss_switches = 0
+        self.forced_switches = 0
+        self.cycle_quota_switches = 0
+
+    def snapshot(self) -> tuple:
+        return (self.retired, self.run_cycles, self.misses, self.miss_switches,
+                self.forced_switches, self.cycle_quota_switches)
+
+
+@dataclass(frozen=True)
+class CpuThreadStats:
+    """Per-thread statistics over the measured window."""
+
+    retired: int
+    run_cycles: int
+    misses: int
+    miss_switches: int
+    forced_switches: int
+    cycle_quota_switches: int
+
+    @property
+    def switches(self) -> int:
+        return self.miss_switches + self.forced_switches + self.cycle_quota_switches
+
+
+@dataclass(frozen=True)
+class CpuRunResult:
+    """Outcome of one detailed-core run (measured window)."""
+
+    cycles: int
+    threads: tuple[CpuThreadStats, ...]
+    switch_latencies: tuple[int, ...] = field(default=())
+    l2_miss_rate: float = 0.0
+    branch_mispredict_rate: float = 0.0
+
+    @property
+    def ipcs(self) -> list[float]:
+        return [t.retired / self.cycles for t in self.threads]
+
+    @property
+    def total_ipc(self) -> float:
+        return sum(self.ipcs)
+
+    @property
+    def mean_switch_latency(self) -> float:
+        if not self.switch_latencies:
+            return 0.0
+        return sum(self.switch_latencies) / len(self.switch_latencies)
+
+
+class OooPipeline:
+    """The core. One instance simulates one run (single- or multi-thread)."""
+
+    def __init__(
+        self,
+        programs: Sequence[TraceProgram],
+        config: MachineConfig = MachineConfig(),
+        policy: Optional[SwitchPolicy] = None,
+    ) -> None:
+        if not programs:
+            raise ConfigurationError("at least one program is required")
+        self.config = config
+        self.policy = policy if policy is not None else NoFairnessPolicy()
+        self.hierarchy = MemoryHierarchy(config)
+        self.predictor = BranchPredictor(
+            config.predictor_history_bits,
+            config.predictor_table_entries,
+            config.btb_entries,
+        )
+        self.threads = [
+            _ThreadContext(i, program) for i, program in enumerate(programs)
+        ]
+        self.now = 0
+        self._seq = 0
+        self._dispatch_counter = 0
+
+        self._active: Optional[_ThreadContext] = None
+        self._fetch_queue: deque[_Inflight] = deque()
+        self._rob: deque[_Inflight] = deque()
+        self._rs: list[_Inflight] = []
+        self._loads_in_flight = 0
+        #: senior stores: (thread_id, address) awaiting cache drain
+        self._store_buffer: deque[tuple[int, int]] = deque()
+
+        self._fetch_resume_at = 0
+        self._pending_branch: Optional[_Inflight] = None
+        self._dispatch_start = 0
+        self._first_retire_seen = False
+        self._switch_started_at: Optional[int] = None
+        self.switch_latencies: list[int] = []
+
+    # ------------------------------------------------------------------
+    # Scheduling / switching
+    # ------------------------------------------------------------------
+    def _pick_ready(self) -> Optional[_ThreadContext]:
+        ready = [
+            t for t in self.threads
+            if t.ready_at <= self.now and not t.cursor.exhausted
+        ]
+        if not ready:
+            return None
+        return min(ready, key=lambda t: t.last_dispatch_seq)
+
+    def _dispatch(self, thread: _ThreadContext) -> None:
+        thread.last_dispatch_seq = self._dispatch_counter
+        self._dispatch_counter += 1
+        self._active = thread
+        self._dispatch_start = self.now
+        self._first_retire_seen = False
+        thread.current_fetch_line = None
+        self._pending_branch = None
+        self._fetch_resume_at = max(self._fetch_resume_at, self.now)
+        if self._switch_started_at is not None:
+            # Measure the refill latency from the dispatch, not from the
+            # switch: cycles the previous thread's idle gap already paid
+            # are not switch overhead.
+            self._switch_started_at = self.now
+        self.policy.on_run_start(thread.thread_id, float(self.now))
+
+    def _flush_active(self) -> None:
+        """Return all in-flight uops of the active thread to its cursor."""
+        thread = self._active
+        assert thread is not None
+        flushed: list[_Inflight] = []
+        flushed.extend(u for u in self._fetch_queue)
+        flushed.extend(u for u in self._rob)
+        self._fetch_queue.clear()
+        # All in-flight uops belong to the active thread by construction.
+        self._rob.clear()
+        self._rs.clear()
+        self._loads_in_flight = 0
+        self._pending_branch = None
+        flushed.sort(key=lambda u: u.seq)
+        thread.cursor.push_back(u.uop for u in flushed)
+        thread.producers = [None] * NUM_ARCH_REGS
+
+    def _switch_out(self, reason: str, thread_ready_at: int) -> None:
+        thread = self._active
+        assert thread is not None
+        self._flush_active()
+        thread.ready_at = thread_ready_at
+        self.policy.on_switch_out(thread.thread_id, reason, float(self.now))
+        self._active = None
+        # Drain: the next thread cannot start fetching before this.
+        self._fetch_resume_at = self.now + self.config.drain_latency
+        self._switch_started_at = self.now
+
+    # ------------------------------------------------------------------
+    # Pipeline stages
+    # ------------------------------------------------------------------
+    def _retire(self) -> int:
+        thread = self._active
+        if thread is None:
+            return 0
+        retired = 0
+        multithreaded = len(self.threads) > 1
+        while retired < self.config.retire_width and self._rob:
+            head = self._rob[0]
+            if head.completed_at is None or head.completed_at > self.now:
+                if (
+                    multithreaded
+                    and head.uop.opclass is OpClass.LOAD
+                    and head.issued
+                    and head.access is not None
+                    and self._is_switch_event(head.access)
+                    and head.completed_at is not None
+                    and head.completed_at > self.now
+                ):
+                    # SOE trigger: unresolved miss at the ROB head.
+                    thread.misses += 1
+                    thread.miss_switches += 1
+                    latency = None
+                    if head.access_issued_at is not None:
+                        latency = float(head.completed_at - head.access_issued_at)
+                    self.policy.on_miss(
+                        thread.thread_id, float(self.now), latency=latency
+                    )
+                    self._switch_out("miss", head.completed_at)
+                    return retired
+                break
+            if head.uop.opclass is OpClass.STORE:
+                if len(self._store_buffer) >= self.config.store_buffer_entries:
+                    break  # retirement stalls on a full store buffer
+                self._store_buffer.append((head.thread_id, head.uop.address))
+            if head.uop.opclass is OpClass.LOAD:
+                self._loads_in_flight -= 1
+            self._rob.popleft()
+            thread.retired += 1
+            retired += 1
+            if self._switch_started_at is not None:
+                self.switch_latencies.append(self.now - self._switch_started_at)
+                self._switch_started_at = None
+        return retired
+
+    def _is_switch_event(self, access: AccessResult) -> bool:
+        """Does this access's miss trigger a thread switch?
+
+        ``switch_event="l2"`` is the paper's base scheme (switch only on
+        misses that go to memory); ``"l1"`` also switches on L1 misses
+        that hit the L2 -- the dMT-style Section 6 variant.
+        """
+        if self.config.switch_event == "l1":
+            return access.level != "l1"
+        return access.l2_miss
+
+    def _issue(self) -> None:
+        if not self._rs:
+            return
+        ports = {
+            OpClass.ALU: self.config.alu_ports,
+            OpClass.NOP: self.config.alu_ports,
+            OpClass.BRANCH: self.config.alu_ports,
+            OpClass.MUL: self.config.mul_ports,
+            OpClass.FP: self.config.fp_ports,
+            OpClass.LOAD: self.config.load_ports,
+            OpClass.STORE: self.config.store_ports,
+        }
+        used: dict[OpClass, int] = {}
+        issued: list[_Inflight] = []
+        # ALU-class ops share ports; track jointly. The RS list is kept
+        # in seq (age) order by construction, so oldest-first scheduling
+        # is a plain scan.
+        shared_alu = (OpClass.ALU, OpClass.NOP, OpClass.BRANCH)
+        for entry in self._rs:
+            opclass = entry.uop.opclass
+            key = OpClass.ALU if opclass in shared_alu else opclass
+            if used.get(key, 0) >= ports[key]:
+                continue
+            if not entry.ready(self.now):
+                continue
+            used[key] = used.get(key, 0) + 1
+            self._execute(entry)
+            issued.append(entry)
+        for entry in issued:
+            self._rs.remove(entry)
+
+    def _execute(self, entry: _Inflight) -> None:
+        entry.issued = True
+        opclass = entry.uop.opclass
+        if opclass in (OpClass.ALU, OpClass.NOP):
+            entry.completed_at = self.now + self.config.alu_latency
+        elif opclass is OpClass.MUL:
+            entry.completed_at = self.now + self.config.mul_latency
+        elif opclass is OpClass.FP:
+            entry.completed_at = self.now + self.config.fp_latency
+        elif opclass is OpClass.BRANCH:
+            entry.completed_at = self.now + self.config.alu_latency
+            if entry.mispredicted:
+                # Fetch resumes after resolve + redirect penalty.
+                self._fetch_resume_at = max(
+                    self._fetch_resume_at,
+                    entry.completed_at + self.config.branch_redirect_penalty,
+                )
+                if self._pending_branch is entry:
+                    self._pending_branch = None
+        elif opclass is OpClass.STORE:
+            # Stores only generate their address before retirement.
+            entry.completed_at = self.now + 1
+        elif opclass is OpClass.LOAD:
+            if self._forwarding_hit(entry):
+                entry.forwarded = True
+                entry.completed_at = self.now + 1 + self.config.l1d.latency
+            else:
+                access = self.hierarchy.data_access(entry.uop.address, self.now + 1)
+                entry.access = access
+                entry.access_issued_at = self.now + 1
+                entry.completed_at = access.ready_at
+        else:  # pragma: no cover - exhaustive enum
+            raise SimulationError(f"unknown op class {opclass}")
+
+    def _forwarding_hit(self, load: _Inflight) -> bool:
+        """Store-to-load forwarding: an older same-thread store to the
+        same address, still in the ROB or the senior store buffer."""
+        address = load.uop.address
+        for thread_id, store_address in self._store_buffer:
+            if store_address == address:
+                if thread_id == load.thread_id:
+                    return True
+                # Cross-thread senior store: data exists but is not
+                # forwarded (Section 4.1); the load must access the
+                # cache.
+                return False
+        for entry in self._rob:
+            if entry.seq >= load.seq:
+                break
+            if (
+                entry.uop.opclass is OpClass.STORE
+                and entry.uop.address == address
+                and entry.thread_id == load.thread_id
+            ):
+                return True
+        return False
+
+    def _rename(self) -> None:
+        thread = self._active
+        if thread is None:
+            return
+        renamed = 0
+        while renamed < self.config.rename_width and self._fetch_queue:
+            entry = self._fetch_queue[0]
+            if entry.visible_at > self.now:
+                break
+            if len(self._rob) >= self.config.rob_entries:
+                break
+            if len(self._rs) >= self.config.rs_entries:
+                break
+            if (
+                entry.uop.opclass is OpClass.LOAD
+                and self._loads_in_flight >= self.config.load_buffer_entries
+            ):
+                break
+            self._fetch_queue.popleft()
+            for reg in entry.uop.srcs:
+                producer = thread.producers[reg]
+                if producer is not None and producer.completed_at is None:
+                    entry.deps.append(producer)
+                elif producer is not None:
+                    entry.deps.append(producer)
+            if entry.uop.dest is not None:
+                thread.producers[entry.uop.dest] = entry
+            if entry.uop.opclass is OpClass.LOAD:
+                self._loads_in_flight += 1
+            self._rob.append(entry)
+            self._rs.append(entry)
+            renamed += 1
+
+    def _fetch(self) -> None:
+        thread = self._active
+        if thread is None:
+            return
+        if self.now < self._fetch_resume_at:
+            return
+        if self._pending_branch is not None:
+            return  # stalled behind an unresolved mispredicted branch
+        fetched = 0
+        while (
+            fetched < self.config.fetch_width
+            and len(self._fetch_queue) < self.config.fetch_queue_entries
+        ):
+            uop = thread.cursor.fetch()
+            if uop is None:
+                break
+            line = uop.pc // self.config.l1i.line_bytes
+            if line != thread.current_fetch_line:
+                thread.current_fetch_line = line
+                access = self.hierarchy.fetch_access(uop.pc, self.now)
+                if access.ready_at > self.now + self.config.l1i.latency:
+                    # I-cache (or iTLB) miss: this uop arrives late and
+                    # fetch stalls until the line is in.
+                    self._fetch_resume_at = access.ready_at
+                    entry = self._make_entry(uop, thread, access.ready_at)
+                    self._fetch_queue.append(entry)
+                    self._maybe_stall_on_branch(entry)
+                    return
+            entry = self._make_entry(uop, thread, self.now)
+            self._fetch_queue.append(entry)
+            fetched += 1
+            if self._maybe_stall_on_branch(entry):
+                return
+
+    def _make_entry(self, uop: MicroOp, thread: _ThreadContext, fetch_time: int) -> _Inflight:
+        entry = _Inflight(
+            uop, thread.thread_id, self._seq,
+            fetch_time + self.config.frontend_latency,
+        )
+        self._seq += 1
+        return entry
+
+    def _maybe_stall_on_branch(self, entry: _Inflight) -> bool:
+        if entry.uop.opclass is not OpClass.BRANCH:
+            return False
+        correct = self.predictor.predict_and_update(entry.uop)
+        if not correct:
+            entry.mispredicted = True
+            self._pending_branch = entry
+            return True
+        if entry.uop.taken:
+            # Taken branches redirect the fetch line.
+            thread = self.threads[entry.thread_id]
+            thread.current_fetch_line = None
+        return False
+
+    def _drain_stores(self) -> None:
+        if self._store_buffer:
+            thread_id, address = self._store_buffer.popleft()
+            self.hierarchy.store_access(address, self.now)
+
+    # ------------------------------------------------------------------
+    # Quota checks (fairness mechanism / time sharing / max-cycles)
+    # ------------------------------------------------------------------
+    def _check_quotas(self) -> None:
+        thread = self._active
+        if thread is None or len(self.threads) <= 1:
+            return
+        if self.policy.instruction_budget(thread.thread_id) <= 0:
+            thread.forced_switches += 1
+            self._switch_out("quota", self.now)
+            return
+        dispatch_cycles = self.now - self._dispatch_start
+        budget = min(
+            self.policy.cycle_budget(thread.thread_id),
+            self.config.max_cycles_quota,
+        )
+        if dispatch_cycles >= budget:
+            thread.cycle_quota_switches += 1
+            self._switch_out("cycle_quota", self.now)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        min_instructions: int,
+        warmup_instructions: int = 0,
+        max_cycles: int = 50_000_000,
+    ) -> CpuRunResult:
+        """Run until every thread retired ``min_instructions``."""
+        if min_instructions <= 0:
+            raise ConfigurationError("min_instructions must be positive")
+        snapshot_time: Optional[int] = None
+        snapshots: list[tuple] = []
+        if warmup_instructions == 0:
+            snapshot_time = 0
+            snapshots = [t.snapshot() for t in self.threads]
+
+        while self.now < max_cycles:
+            if all(
+                self._thread_finished(t, min_instructions) for t in self.threads
+            ):
+                break
+            if (
+                snapshot_time is None
+                and sum(t.retired for t in self.threads) >= warmup_instructions
+            ):
+                snapshot_time = self.now
+                snapshots = [t.snapshot() for t in self.threads]
+                self.hierarchy.reset_statistics()
+                self.predictor.reset_statistics()
+                self.switch_latencies = []
+
+            if (
+                self._active is not None
+                and not self._rob
+                and not self._fetch_queue
+                and self._active.cursor.exhausted
+            ):
+                # The active thread ran out of trace: release the core.
+                self.policy.on_switch_out(
+                    self._active.thread_id, "done", float(self.now)
+                )
+                self._active = None
+
+            if self._active is None:
+                candidate = self._pick_ready()
+                if candidate is not None:
+                    self._dispatch(candidate)
+                elif all(t.cursor.exhausted for t in self.threads):
+                    break
+                else:
+                    # Nothing runnable: skip idle time in one hop (the
+                    # store buffer still drains one store per cycle).
+                    pending = [
+                        t.ready_at for t in self.threads if not t.cursor.exhausted
+                    ]
+                    target = min(min(pending), max_cycles)
+                    while self._store_buffer and self.now < target:
+                        self._drain_stores()
+                        self.now += 1
+                    boundary = self.policy.next_boundary(float(self.now))
+                    while boundary < target:
+                        self.now = int(boundary)
+                        self.policy.on_boundary(boundary)
+                        boundary = self.policy.next_boundary(float(self.now))
+                    if self.now < target:
+                        self.now = target
+                    continue
+
+            retired_now = self._retire()
+            self._issue()
+            self._rename()
+            self._fetch()
+            self._drain_stores()
+
+            thread = self._active
+            if thread is not None:
+                if retired_now > 0 and not self._first_retire_seen:
+                    self._first_retire_seen = True
+                if self._first_retire_seen:
+                    thread.run_cycles += 1
+                    self.policy.on_retired(thread.thread_id, retired_now, 1.0)
+                elif retired_now:  # pragma: no cover - defensive
+                    self.policy.on_retired(thread.thread_id, retired_now, 0.0)
+                self._check_quotas()
+
+            boundary = self.policy.next_boundary(float(self.now))
+            if boundary <= self.now:
+                self.policy.on_boundary(boundary)
+
+            self.now += 1
+
+        if snapshot_time is None:
+            snapshot_time = 0
+            snapshots = [(0, 0, 0, 0, 0, 0) for _ in self.threads]
+        return self._build_result(snapshot_time, snapshots)
+
+    def _thread_finished(self, thread: _ThreadContext, min_instructions: int) -> bool:
+        if thread.retired >= min_instructions:
+            return True
+        if not thread.cursor.exhausted:
+            return False
+        # End-of-trace: wait for the thread's in-flight uops to drain.
+        return not (
+            self._active is thread and (self._rob or self._fetch_queue)
+        )
+
+    def _build_result(self, start_time: int, snapshots: list[tuple]) -> CpuRunResult:
+        window = self.now - start_time
+        if window <= 0:
+            raise SimulationError("measurement window is empty")
+        stats = []
+        for thread, base in zip(self.threads, snapshots):
+            retired0, cycles0, misses0, msw0, fsw0, qsw0 = base
+            stats.append(
+                CpuThreadStats(
+                    retired=thread.retired - retired0,
+                    run_cycles=thread.run_cycles - cycles0,
+                    misses=thread.misses - misses0,
+                    miss_switches=thread.miss_switches - msw0,
+                    forced_switches=thread.forced_switches - fsw0,
+                    cycle_quota_switches=thread.cycle_quota_switches - qsw0,
+                )
+            )
+        return CpuRunResult(
+            cycles=window,
+            threads=tuple(stats),
+            switch_latencies=tuple(self.switch_latencies),
+            l2_miss_rate=self.hierarchy.l2.miss_rate,
+            branch_mispredict_rate=self.predictor.misprediction_rate,
+        )

@@ -1,0 +1,54 @@
+"""Instruction/data TLBs with page-walk latency.
+
+Fully-associative LRU TLBs. A miss costs a page walk; the paper tracks
+i/dTLB page walks among the miss events flagged in the ROB, so the
+hierarchy reports the walk latency and the pipeline folds it into the
+access time.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Tlb"]
+
+
+class Tlb:
+    """A fully-associative translation buffer."""
+
+    def __init__(self, entries: int, page_bytes: int, name: str = "") -> None:
+        if entries <= 0:
+            raise ConfigurationError("TLB needs at least one entry")
+        if page_bytes <= 0 or page_bytes & (page_bytes - 1):
+            raise ConfigurationError("page size must be a positive power of two")
+        self.entries = entries
+        self.page_bytes = page_bytes
+        self.name = name
+        self._pages: OrderedDict = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, address: int) -> bool:
+        """Translate: True on hit; a miss installs the translation."""
+        if address < 0:
+            raise ConfigurationError("addresses must be non-negative")
+        page = address // self.page_bytes
+        if page in self._pages:
+            self._pages.move_to_end(page)
+            self.hits += 1
+            return True
+        self.misses += 1
+        self._pages[page] = None
+        if len(self._pages) > self.entries:
+            self._pages.popitem(last=False)
+        return False
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    def reset_statistics(self) -> None:
+        self.hits = 0
+        self.misses = 0

@@ -1,0 +1,70 @@
+"""Detailed-core side of the cross-simulator validation.
+
+For each representative workload pair, the detailed core runs an SOE
+simulation and reports the per-thread segment statistics it actually
+experienced (IPM, CPM from its own counters); a segment-engine run is
+then parameterized with exactly those statistics. If the segment
+abstraction is adequate (the paper's footnote 2 claim), the two
+simulators' throughputs should agree to within the microarchitectural
+effects the segment model ignores.
+"""
+
+from __future__ import annotations
+
+from repro.cpu.machine import MachineConfig
+from repro.cpu.soe_core import run_cpu_soe
+from repro.engine.soe import RunLimits, SoeParams, run_soe
+from repro.workloads.synthetic import uniform_stream
+from repro.workloads.tracegen import (
+    COMPUTE_SPEC,
+    MEMORY_SPEC,
+    MIXED_SPEC,
+    CpuWorkloadSpec,
+    make_trace,
+)
+
+__all__ = ["matched_workload_comparison"]
+
+_PAIRS: tuple[tuple[str, CpuWorkloadSpec, CpuWorkloadSpec], ...] = (
+    ("compute:memory", COMPUTE_SPEC, MEMORY_SPEC),
+    ("mixed:memory", MIXED_SPEC, MEMORY_SPEC),
+    ("compute:mixed", COMPUTE_SPEC, MIXED_SPEC),
+)
+
+
+def matched_workload_comparison(
+    miss_lat: float = 300.0,
+    min_instructions: int = 30_000,
+    config: MachineConfig = MachineConfig(),
+) -> list[tuple[str, float, float]]:
+    """Returns (label, segment-engine IPC, detailed-core IPC) triples."""
+    results = []
+    for label, spec_a, spec_b in _PAIRS:
+        programs = [
+            make_trace(spec_a, seed=1, thread_index=0),
+            make_trace(spec_b, seed=2, thread_index=1),
+        ]
+        cpu_result = run_cpu_soe(
+            programs,
+            config=config,
+            min_instructions=min_instructions,
+            warmup_instructions=min_instructions // 3,
+        )
+
+        # Parameterize the segment engine with the statistics the core
+        # actually observed for each thread.
+        streams = []
+        for stats in cpu_result.threads:
+            misses = max(stats.miss_switches, 1)
+            ipm = stats.retired / misses
+            cpm = stats.run_cycles / misses
+            ipc_no_miss = ipm / cpm if cpm > 0 else 1.0
+            streams.append(uniform_stream(ipc_no_miss, ipm))
+        mean_switch = cpu_result.mean_switch_latency or 25.0
+        engine_result = run_soe(
+            streams,
+            params=SoeParams(miss_lat=miss_lat, switch_lat=mean_switch),
+            limits=RunLimits(min_instructions=min_instructions * 5),
+        )
+        results.append((label, engine_result.total_ipc, cpu_result.total_ipc))
+    return results

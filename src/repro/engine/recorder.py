@@ -1,0 +1,81 @@
+"""Interval time-series recording for SOE runs (Figure 5 support).
+
+Figure 5 plots, over time: the per-thread estimated vs. real single-
+thread IPC, the per-thread speedups, and the achieved fairness. The
+:class:`IntervalRecorder` samples the engine at a fixed cycle interval
+and computes per-interval per-thread IPCs; the controller's own
+:attr:`~repro.core.controller.FairnessController.history` supplies the
+estimate series at each ``Delta`` boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Optional, Sequence
+
+from repro.core.fairness import fairness
+from repro.errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.engine.soe import SoeEngine
+
+__all__ = ["IntervalSample", "IntervalRecorder"]
+
+
+@dataclass(frozen=True)
+class IntervalSample:
+    """Per-thread activity over one recording interval."""
+
+    #: absolute end time of the interval
+    time: float
+    #: instructions each thread retired during the interval
+    retired: tuple[float, ...]
+    #: per-thread IPC over the interval (retired / interval length)
+    ipcs: tuple[float, ...]
+    #: cumulative instructions retired per thread since the run started
+    cumulative_retired: tuple[float, ...]
+
+    def speedups(self, ipc_st: Sequence[float]) -> list[float]:
+        """Interval speedups against reference single-thread IPCs."""
+        return [ipc / st for ipc, st in zip(self.ipcs, ipc_st)]
+
+    def achieved_fairness(self, ipc_st: Sequence[float]) -> float:
+        """Eq. 4 over this interval's speedups."""
+        return fairness(self.speedups(ipc_st))
+
+
+class IntervalRecorder:
+    """Samples per-thread retirement every ``interval`` cycles."""
+
+    def __init__(self, interval: float = 250_000.0) -> None:
+        if interval <= 0:
+            raise ConfigurationError("recording interval must be positive")
+        self.interval = float(interval)
+        self._next = float(interval)
+        self._last_retired: Optional[list[float]] = None
+        self._last_time = 0.0
+        self.samples: list[IntervalSample] = []
+
+    def next_boundary(self, now: float) -> float:
+        return self._next
+
+    def on_boundary(self, now: float, engine: "SoeEngine") -> None:
+        retired = [t.retired for t in engine.threads]
+        if self._last_retired is None:
+            self._last_retired = [0.0] * len(retired)
+        length = now - self._last_time
+        if length <= 0:
+            length = self.interval
+        deltas = [cur - prev for cur, prev in zip(retired, self._last_retired)]
+        self.samples.append(
+            IntervalSample(
+                time=now,
+                retired=tuple(deltas),
+                ipcs=tuple(d / length for d in deltas),
+                cumulative_retired=tuple(retired),
+            )
+        )
+        self._last_retired = retired
+        self._last_time = now
+        while self._next <= now:
+            self._next += self.interval

@@ -1,0 +1,95 @@
+"""Segment abstractions for the segment-level timing engine.
+
+The engine adopts the paper's own program-behaviour model (Section 2.1):
+a thread is a sequence of *segments*, each a run of instructions that
+executes at some uniform rate and ends with a last-level cache miss.
+Workload generators (:mod:`repro.workloads`) produce segment streams;
+the engine consumes them.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Iterator, Optional
+
+from repro.errors import ConfigurationError, WorkloadError
+
+__all__ = ["Segment", "SegmentStream", "stream_from_segments"]
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A run of instructions between two last-level cache misses.
+
+    Parameters
+    ----------
+    instructions:
+        Useful instructions retired in the segment (> 0).
+    cycles:
+        Execution cycles the segment takes, *excluding* the terminating
+        miss's stall (> 0). The implied retirement rate
+        ``instructions / cycles`` is the segment's ``IPC_no_miss``.
+    ends_with_miss:
+        False only for a trailing partial segment of a finite workload.
+    miss_latency:
+        Stall latency of the terminating event, when it differs from
+        the machine's default memory latency (Section 6's variable-
+        latency events: L1 misses, pause hints...). None = default.
+    """
+
+    instructions: float
+    cycles: float
+    ends_with_miss: bool = True
+    miss_latency: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not (self.instructions > 0 and math.isfinite(self.instructions)):
+            raise ConfigurationError(
+                f"segment instructions must be positive, got {self.instructions}"
+            )
+        if not (self.cycles > 0 and math.isfinite(self.cycles)):
+            raise ConfigurationError(f"segment cycles must be positive, got {self.cycles}")
+        if self.miss_latency is not None and self.miss_latency < 0:
+            raise ConfigurationError("miss_latency must be non-negative")
+
+    @property
+    def ipc(self) -> float:
+        """The segment's retirement rate (its ``IPC_no_miss``)."""
+        return self.instructions / self.cycles
+
+
+class SegmentStream:
+    """A restartable source of :class:`Segment` values.
+
+    The same workload must be replayable for the single-thread reference
+    run and for each SOE configuration, so streams are factories: every
+    call to :meth:`segments` returns a fresh iterator over the *same*
+    deterministic sequence.
+    """
+
+    def __init__(self, factory: Callable[[], Iterator[Segment]], name: str = "") -> None:
+        self._factory = factory
+        self.name = name
+
+    def segments(self) -> Iterator[Segment]:
+        """A fresh iterator over the stream's segment sequence."""
+        iterator = self._factory()
+        if iterator is None:
+            raise WorkloadError(f"stream factory for {self.name!r} returned None")
+        return iterator
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SegmentStream({self.name!r})"
+
+
+def stream_from_segments(segments: Iterable[Segment], name: str = "") -> SegmentStream:
+    """Wrap a concrete segment list as a restartable stream.
+
+    Convenient in tests and examples where the exact segment sequence is
+    spelled out by hand.
+    """
+    materialized = list(segments)
+    if not materialized:
+        raise WorkloadError("a segment stream needs at least one segment")
+    return SegmentStream(lambda: iter(materialized), name=name)

@@ -1,0 +1,77 @@
+"""Single-thread reference runs (ground-truth ``IPC_ST``).
+
+The paper's achieved-fairness results compare each thread's SOE
+performance against its *real* single-thread performance, obtained by
+simulating each benchmark alone on the processor. For the segment model
+this run is a straight accumulation: every segment contributes its
+execution cycles plus, if it ends with a miss, the full miss latency
+(Eq. 1's denominator).
+"""
+
+from __future__ import annotations
+
+from repro.engine.results import SingleThreadResult
+from repro.engine.segments import SegmentStream
+from repro.errors import ConfigurationError
+
+__all__ = ["run_single_thread"]
+
+
+def run_single_thread(
+    stream: SegmentStream,
+    miss_lat: float = 300.0,
+    min_instructions: float = 100_000.0,
+    warmup_instructions: float = 0.0,
+) -> SingleThreadResult:
+    """Run one workload alone and measure its IPC.
+
+    Stops at the first segment boundary at or after ``min_instructions``
+    retired (post-warmup instructions are measured; the warmup prefix is
+    executed but excluded, mirroring the SOE runs).
+    """
+    if miss_lat < 0:
+        raise ConfigurationError("miss_lat must be non-negative")
+    if min_instructions <= 0:
+        raise ConfigurationError("min_instructions must be positive")
+    if warmup_instructions < 0:
+        raise ConfigurationError("warmup_instructions must be non-negative")
+
+    retired = 0.0
+    cycles = 0.0
+    run_cycles = 0.0
+    misses = 0
+    base = (0.0, 0.0, 0.0, 0)
+    warmed = warmup_instructions == 0
+
+    for segment in stream.segments():
+        retired += segment.instructions
+        cycles += segment.cycles
+        run_cycles += segment.cycles
+        if segment.ends_with_miss:
+            misses += 1
+            cycles += (
+                miss_lat if segment.miss_latency is None else segment.miss_latency
+            )
+        if not warmed and retired >= warmup_instructions:
+            base = (retired, cycles, run_cycles, misses)
+            warmed = True
+            continue
+        if warmed and retired - base[0] >= min_instructions:
+            break
+    else:
+        if not warmed:
+            # The stream ended inside warmup; measure everything.
+            base = (0.0, 0.0, 0.0, 0)
+
+    window_retired = retired - base[0]
+    window_cycles = cycles - base[1]
+    window_run_cycles = run_cycles - base[2]
+    window_misses = misses - base[3]
+    if window_cycles <= 0:
+        raise ConfigurationError("single-thread run produced an empty window")
+    return SingleThreadResult(
+        retired=window_retired,
+        cycles=window_cycles,
+        misses=window_misses,
+        run_cycles=window_run_cycles,
+    )

@@ -1,0 +1,358 @@
+"""Event-driven segment-level SOE timing engine.
+
+This engine implements Switch-on-Event multithreading over the paper's
+own program-behaviour model (Section 2.1): each thread is a stream of
+instruction segments delimited by last-level cache misses. Within a
+segment, retirement is uniform at the segment's IPC, so the time of the
+next event -- segment end (= miss), instruction-quota exhaustion,
+cycle-quota exhaustion, or a policy sampling boundary -- is closed-form
+and the engine advances event-to-event with no per-cycle loop.
+
+Semantics mirror Section 4.1's machine:
+
+* the active thread switches out on a last-level miss; the miss resolves
+  ``miss_lat`` cycles later, and the thread is not runnable before that;
+* every dispatch pays ``switch_lat`` overhead cycles (the paper's ~25
+  cycles of drain plus pipeline refill);
+* each dispatch is bounded by the maximum-cycles quota (50,000 cycles),
+  ensuring every thread runs inside every sampling period;
+* the attached :class:`~repro.core.policy.SwitchPolicy` can impose an
+  instruction budget (the fairness mechanism's deficit counter) and a
+  cycle budget (time sharing), and receives retirement/miss callbacks;
+* when no thread is ready (all waiting on misses) the core idles.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.core.policy import NoFairnessPolicy, SwitchPolicy
+from repro.engine.results import SoeRunResult, ThreadStats
+from repro.engine.segments import SegmentStream
+from repro.engine.thread import EngineThread
+from repro.errors import ConfigurationError, SimulationError
+
+__all__ = ["SoeParams", "RunLimits", "SoeEngine", "run_soe"]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class SoeParams:
+    """Machine-level SOE parameters (paper Table 3 / Section 4.1)."""
+
+    miss_lat: float = 300.0
+    switch_lat: float = 25.0
+    max_cycles_quota: float = 50_000.0
+
+    def __post_init__(self) -> None:
+        if self.miss_lat < 0 or self.switch_lat < 0:
+            raise ConfigurationError("latencies must be non-negative")
+        if self.max_cycles_quota <= 0:
+            raise ConfigurationError("max_cycles_quota must be positive")
+
+
+@dataclass(frozen=True)
+class RunLimits:
+    """Stopping and measurement-window configuration for a run.
+
+    The paper simulates until every thread completes ``min_instructions``
+    (6,000,000 in the evaluation) and excludes the first
+    ``warmup_instructions`` (1,000,000, counted across all threads) from
+    the statistics. ``max_cycles`` is a safety net against pathological
+    configurations.
+    """
+
+    min_instructions: float = 100_000.0
+    warmup_instructions: float = 0.0
+    max_cycles: float = 5e9
+
+    def __post_init__(self) -> None:
+        if self.min_instructions <= 0:
+            raise ConfigurationError("min_instructions must be positive")
+        if self.warmup_instructions < 0:
+            raise ConfigurationError("warmup_instructions must be non-negative")
+        if self.max_cycles <= 0:
+            raise ConfigurationError("max_cycles must be positive")
+
+
+class _Snapshot:
+    """Raw statistics captured at the end of warmup."""
+
+    def __init__(self, engine: "SoeEngine") -> None:
+        self.time = engine.now
+        self.idle_cycles = engine.idle_cycles
+        self.switch_overhead_cycles = engine.switch_overhead_cycles
+        self.threads = [
+            (t.retired, t.run_cycles, t.misses, t.miss_switches,
+             t.forced_switches, t.cycle_quota_switches)
+            for t in engine.threads
+        ]
+
+
+class SoeEngine:
+    """The SOE core: dispatches threads, applies the switch policy."""
+
+    def __init__(
+        self,
+        streams: Sequence[SegmentStream],
+        policy: Optional[SwitchPolicy] = None,
+        params: SoeParams = SoeParams(),
+        recorder: Optional["IntervalRecorderProtocol"] = None,
+    ) -> None:
+        if len(streams) < 2:
+            raise ConfigurationError("the SOE engine needs at least two threads")
+        self.params = params
+        self.policy = policy if policy is not None else NoFairnessPolicy()
+        self.recorder = recorder
+        self.threads = [EngineThread(i, s) for i, s in enumerate(streams)]
+        self.now = 0.0
+        self.idle_cycles = 0.0
+        self.switch_overhead_cycles = 0.0
+        self._active: Optional[EngineThread] = None
+        self._dispatch_seq = 0
+        self._dispatch_cycles = 0.0
+
+    # ------------------------------------------------------------------
+    # Boundary plumbing (policy Delta boundaries + recorder intervals)
+    # ------------------------------------------------------------------
+    def _next_boundary(self) -> float:
+        boundary = self.policy.next_boundary(self.now)
+        if self.recorder is not None:
+            boundary = min(boundary, self.recorder.next_boundary(self.now))
+        return boundary
+
+    def _fire_due_boundaries(self) -> None:
+        for _ in range(1_000_000):
+            fired = False
+            if self.policy.next_boundary(self.now) <= self.now + _EPS:
+                self.policy.on_boundary(self.policy.next_boundary(self.now))
+                fired = True
+            if (
+                self.recorder is not None
+                and self.recorder.next_boundary(self.now) <= self.now + _EPS
+            ):
+                self.recorder.on_boundary(self.recorder.next_boundary(self.now), self)
+                fired = True
+            if not fired:
+                return
+        raise SimulationError("boundary callbacks failed to advance their schedule")
+
+    def _elapse_inactive(self, duration: float, kind: str) -> None:
+        """Pass non-executing time (idle or switch overhead), splitting
+        at boundaries so sampling periods stay exact."""
+        remaining = duration
+        while remaining > _EPS:
+            boundary = self._next_boundary()
+            step = min(remaining, max(boundary - self.now, 0.0))
+            if step <= _EPS:
+                self._fire_due_boundaries()
+                continue
+            self.now += step
+            if kind == "idle":
+                self.idle_cycles += step
+            else:
+                self.switch_overhead_cycles += step
+            remaining -= step
+            self._fire_due_boundaries()
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def _pick_ready(self) -> Optional[EngineThread]:
+        """Least-recently-dispatched ready thread (round-robin order)."""
+        ready = [t for t in self.threads if t.is_ready(self.now)]
+        if not ready:
+            return None
+        return min(ready, key=lambda t: t.last_dispatch_seq)
+
+    def _dispatch(self, thread: EngineThread) -> None:
+        thread.last_dispatch_seq = self._dispatch_seq
+        self._dispatch_seq += 1
+        self._active = thread
+        self._dispatch_cycles = 0.0
+        self._elapse_inactive(self.params.switch_lat, "switch")
+        self.policy.on_run_start(thread.thread_id, self.now)
+
+    def _switch_out(self, reason: str) -> None:
+        assert self._active is not None
+        self.policy.on_switch_out(self._active.thread_id, reason, self.now)
+        self._active = None
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+    def run(self, limits: RunLimits = RunLimits()) -> SoeRunResult:
+        """Run until every thread retired ``limits.min_instructions``.
+
+        Returns statistics over the post-warmup window.
+        """
+        snapshot: Optional[_Snapshot] = None
+        if limits.warmup_instructions == 0:
+            snapshot = _Snapshot(self)
+
+        while not self._finished(limits):
+            if self.now >= limits.max_cycles:
+                break
+            if snapshot is None and self._total_retired() >= limits.warmup_instructions:
+                snapshot = _Snapshot(self)
+
+            if self._active is None:
+                thread = self._pick_ready()
+                if thread is None:
+                    self._idle_until_ready(limits)
+                    continue
+                self._dispatch(thread)
+                continue
+            self._step_active(limits)
+
+        if snapshot is None:
+            # The run ended inside warmup; measure the whole run instead
+            # of returning an empty window.
+            snapshot = _Snapshot(self)
+            snapshot.time = 0.0
+            snapshot.idle_cycles = 0.0
+            snapshot.switch_overhead_cycles = 0.0
+            snapshot.threads = [(0.0, 0.0, 0, 0, 0, 0) for _ in self.threads]
+        return self._build_result(snapshot)
+
+    # ------------------------------------------------------------------
+    def _finished(self, limits: RunLimits) -> bool:
+        for thread in self.threads:
+            if thread.done:
+                continue
+            if thread.retired < limits.min_instructions:
+                return False
+        return True
+
+    def _total_retired(self) -> float:
+        return sum(t.retired for t in self.threads)
+
+    def _idle_until_ready(self, limits: RunLimits) -> None:
+        pending = [t.ready_at for t in self.threads if not t.done]
+        if not pending:
+            raise SimulationError("no runnable threads and none pending")
+        target = min(pending)
+        if target <= self.now + _EPS:
+            raise SimulationError("idle requested while a thread is ready")
+        self._elapse_inactive(min(target, limits.max_cycles) - self.now, "idle")
+
+    def _step_active(self, limits: RunLimits) -> None:
+        thread = self._active
+        assert thread is not None
+        tid = thread.thread_id
+
+        boundary = self._next_boundary()
+        t_boundary = max(boundary - self.now, 0.0)
+        if t_boundary <= _EPS:
+            self._fire_due_boundaries()
+            return
+
+        ipc = thread.ipc
+        t_segment = thread.cycles_to_segment_end
+        instr_budget = self.policy.instruction_budget(tid)
+        t_instr = instr_budget / ipc if math.isfinite(instr_budget) else math.inf
+        cycle_budget = min(
+            self.policy.cycle_budget(tid),
+            self.params.max_cycles_quota - self._dispatch_cycles,
+        )
+        t_cycle = max(cycle_budget, 0.0)
+
+        t_limit = max(limits.max_cycles - self.now, 0.0)
+        dt = min(t_segment, t_instr, t_cycle, t_boundary, t_limit)
+        if t_limit <= _EPS:
+            return  # the run loop's max_cycles check will stop us
+        if dt <= _EPS:
+            # A zero budget at dispatch time: treat as an immediate
+            # forced switch so the engine cannot spin.
+            if t_segment <= _EPS:
+                self._complete_segment(thread)
+            elif t_instr <= _EPS:
+                thread.forced_switches += 1
+                thread.ready_at = self.now
+                self._switch_out("quota")
+            else:
+                thread.cycle_quota_switches += 1
+                thread.ready_at = self.now
+                self._switch_out("cycle_quota")
+            return
+
+        retired = thread.advance(dt)
+        self._dispatch_cycles += dt
+        self.now += dt
+        self.policy.on_retired(tid, retired, dt)
+        self._fire_due_boundaries()
+
+        if dt >= t_segment - _EPS and thread.at_segment_end:
+            self._complete_segment(thread)
+        elif dt >= t_instr - _EPS:
+            thread.forced_switches += 1
+            thread.ready_at = self.now
+            self._switch_out("quota")
+        elif dt >= t_cycle - _EPS:
+            thread.cycle_quota_switches += 1
+            thread.ready_at = self.now
+            self._switch_out("cycle_quota")
+        # else: the step ended at a boundary; keep running the same thread.
+
+    def _complete_segment(self, thread: EngineThread) -> None:
+        latency = thread.finish_segment(self.now, self.params.miss_lat)
+        if latency is not None:
+            thread.miss_switches += 1
+            self.policy.on_miss(thread.thread_id, self.now, latency=latency)
+            self._switch_out("miss")
+        elif thread.done:
+            self._switch_out("done")
+        else:
+            # A rare miss-free join between segments: keep executing.
+            pass
+
+    # ------------------------------------------------------------------
+    def _build_result(self, snapshot: _Snapshot) -> SoeRunResult:
+        window = self.now - snapshot.time
+        if window <= 0:
+            raise SimulationError("measurement window is empty; increase run length")
+        stats = []
+        for thread, base in zip(self.threads, snapshot.threads):
+            retired0, cycles0, misses0, msw0, fsw0, qsw0 = base
+            stats.append(
+                ThreadStats(
+                    retired=thread.retired - retired0,
+                    run_cycles=thread.run_cycles - cycles0,
+                    misses=thread.misses - misses0,
+                    miss_switches=thread.miss_switches - msw0,
+                    forced_switches=thread.forced_switches - fsw0,
+                    cycle_quota_switches=thread.cycle_quota_switches - qsw0,
+                )
+            )
+        return SoeRunResult(
+            cycles=window,
+            threads=tuple(stats),
+            idle_cycles=self.idle_cycles - snapshot.idle_cycles,
+            switch_overhead_cycles=(
+                self.switch_overhead_cycles - snapshot.switch_overhead_cycles
+            ),
+        )
+
+
+class IntervalRecorderProtocol:
+    """Structural interface the engine expects from a recorder."""
+
+    def next_boundary(self, now: float) -> float:  # pragma: no cover - protocol
+        raise NotImplementedError
+
+    def on_boundary(self, now: float, engine: SoeEngine) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+
+def run_soe(
+    streams: Sequence[SegmentStream],
+    policy: Optional[SwitchPolicy] = None,
+    params: SoeParams = SoeParams(),
+    limits: RunLimits = RunLimits(),
+    recorder: Optional[IntervalRecorderProtocol] = None,
+) -> SoeRunResult:
+    """Convenience wrapper: build an engine and run it once."""
+    return SoeEngine(streams, policy, params, recorder).run(limits)

@@ -1,0 +1,121 @@
+"""Per-thread state for the segment-level engine."""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from repro.engine.segments import Segment, SegmentStream
+from repro.errors import SimulationError
+
+__all__ = ["EngineThread"]
+
+_EPS = 1e-9
+
+
+class EngineThread:
+    """One hardware thread context in the segment engine.
+
+    Tracks the position inside the current segment (retirement within a
+    segment is uniform at the segment's IPC, so positions are continuous)
+    and the raw lifetime statistics the engine reports.
+    """
+
+    def __init__(self, thread_id: int, stream: SegmentStream) -> None:
+        self.thread_id = thread_id
+        self._iterator: Iterator[Segment] = stream.segments()
+        self.segment: Optional[Segment] = None
+        self.segment_cycles_done = 0.0
+        #: absolute time at which the thread may run again (misses resolve here)
+        self.ready_at = 0.0
+        #: set when the segment stream is exhausted
+        self.done = False
+        #: scheduling recency (engine bumps this at each dispatch)
+        self.last_dispatch_seq = -1
+
+        # Lifetime statistics (the engine snapshots these at warmup).
+        self.retired = 0.0
+        self.run_cycles = 0.0
+        self.misses = 0
+        self.miss_switches = 0
+        self.forced_switches = 0
+        self.cycle_quota_switches = 0
+
+        self._load_next_segment()
+
+    # ------------------------------------------------------------------
+    def _load_next_segment(self) -> None:
+        try:
+            self.segment = next(self._iterator)
+        except StopIteration:
+            self.segment = None
+            self.done = True
+            return
+        self.segment_cycles_done = 0.0
+
+    # ------------------------------------------------------------------
+    @property
+    def ipc(self) -> float:
+        """Retirement rate of the current segment."""
+        if self.segment is None:
+            raise SimulationError(f"thread {self.thread_id} has no active segment")
+        return self.segment.ipc
+
+    @property
+    def cycles_to_segment_end(self) -> float:
+        if self.segment is None:
+            raise SimulationError(f"thread {self.thread_id} has no active segment")
+        return max(0.0, self.segment.cycles - self.segment_cycles_done)
+
+    def is_ready(self, now: float) -> bool:
+        return not self.done and self.ready_at <= now + _EPS
+
+    # ------------------------------------------------------------------
+    def advance(self, cycles: float) -> float:
+        """Execute for ``cycles`` within the current segment.
+
+        Returns the number of instructions retired. The caller must not
+        advance past the segment end.
+        """
+        if self.segment is None:
+            raise SimulationError(f"thread {self.thread_id} advanced with no segment")
+        if cycles < 0:
+            raise SimulationError("cannot advance a negative duration")
+        if cycles > self.cycles_to_segment_end + 1e-6:
+            raise SimulationError(
+                f"thread {self.thread_id} advanced {cycles} cycles past segment end "
+                f"({self.cycles_to_segment_end} remaining)"
+            )
+        instructions = cycles * self.segment.ipc
+        self.segment_cycles_done += cycles
+        self.retired += instructions
+        self.run_cycles += cycles
+        return instructions
+
+    @property
+    def at_segment_end(self) -> bool:
+        if self.segment is None:
+            return True
+        return self.cycles_to_segment_end <= _EPS
+
+    def finish_segment(self, now: float, miss_lat: float) -> Optional[float]:
+        """Complete the current segment and load the next one.
+
+        Returns the terminating event's stall latency when the segment
+        ended with a miss (``ready_at`` is pushed out by that latency;
+        per-segment latencies override the machine default), or None
+        for a miss-free join.
+        """
+        if self.segment is None:
+            raise SimulationError(f"thread {self.thread_id} has no segment to finish")
+        segment = self.segment
+        if segment.ends_with_miss:
+            latency = (
+                miss_lat if segment.miss_latency is None else segment.miss_latency
+            )
+            self.misses += 1
+            self.ready_at = now + latency
+        else:
+            latency = None
+            self.ready_at = now
+        self._load_next_segment()
+        return latency

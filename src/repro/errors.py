@@ -1,0 +1,17 @@
+"""Exception types shared across the :mod:`repro` package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is out of its legal range or inconsistent."""
+
+
+class WorkloadError(ReproError):
+    """A workload definition is invalid (unknown benchmark, bad stream...)."""
+
+
+class SimulationError(ReproError):
+    """The simulator reached an inconsistent internal state."""

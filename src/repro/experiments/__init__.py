@@ -1,0 +1,29 @@
+"""Experiment runners: one module per table/figure of the paper.
+
+See :mod:`repro.experiments.registry` for the id -> runner map and
+``DESIGN.md`` for the experiment index.
+"""
+
+from repro.experiments.common import (
+    EvalConfig,
+    PairResult,
+    format_table,
+    run_all_pairs,
+    run_pair,
+)
+from repro.experiments.registry import (
+    Experiment,
+    experiment_ids,
+    get_experiment,
+)
+
+__all__ = [
+    "EvalConfig",
+    "Experiment",
+    "PairResult",
+    "experiment_ids",
+    "format_table",
+    "get_experiment",
+    "run_all_pairs",
+    "run_pair",
+]

@@ -1,0 +1,157 @@
+"""Ablations of the mechanism's design parameters.
+
+The paper fixes several knobs with one-line justifications; these
+ablations quantify them on the gcc:eon pair (the pair that needs active
+enforcement):
+
+* ``Delta`` (sampling period, Section 3.1): too small -> noisy
+  estimates; too large -> phases tracked poorly.
+* maximum cycles quota (Section 4.1): must be well below ``Delta / N``
+  so starved threads are sampled, but large enough that quota-forced
+  switches stay rare.
+* deficit cap (Section 3.2 extension): bounding the carried-over
+  deficit trades average-quota accuracy for burst control.
+* miss-latency misestimation (Section 6): the mechanism uses a
+  predefined ``miss_lat`` in Eq. 13; feeding it a wrong constant skews
+  the quotas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.core.controller import FairnessController, FairnessParams
+from repro.engine.singlethread import run_single_thread
+from repro.engine.soe import SoeParams, run_soe
+from repro.experiments.common import EvalConfig, format_table
+from repro.workloads.pairs import BenchmarkPair
+
+__all__ = ["AblationPoint", "AblationResult", "run", "render"]
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """One configuration's outcome."""
+
+    knob: str
+    value: str
+    total_ipc: float
+    achieved_fairness: float
+    forced_per_kcycle: float
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    pair_label: str
+    fairness_target: float
+    points: list[AblationPoint]
+
+    def series(self, knob: str) -> list[AblationPoint]:
+        return [p for p in self.points if p.knob == knob]
+
+
+def _run_one(
+    pair: BenchmarkPair,
+    config: EvalConfig,
+    fairness_target: float,
+    ipc_st,
+    sample_period: Optional[float] = None,
+    max_cycles_quota: Optional[float] = None,
+    deficit_cap: Optional[float] = None,
+    assumed_miss_lat: Optional[float] = None,
+) -> tuple[float, float, float]:
+    params = SoeParams(
+        miss_lat=config.miss_lat,
+        switch_lat=config.switch_lat,
+        max_cycles_quota=max_cycles_quota or config.max_cycles_quota,
+    )
+    controller = FairnessController(
+        2,
+        FairnessParams(
+            fairness_target=fairness_target,
+            miss_lat=assumed_miss_lat if assumed_miss_lat is not None else config.miss_lat,
+            sample_period=sample_period or config.sample_period,
+            deficit_cap=deficit_cap,
+        ),
+    )
+    result = run_soe(
+        pair.streams(seed=config.seed),
+        controller,
+        params,
+        config.run_limits(),
+    )
+    return (
+        result.total_ipc,
+        result.achieved_fairness(ipc_st),
+        result.forced_switches_per_kcycle(),
+    )
+
+
+def run(
+    pair: BenchmarkPair = BenchmarkPair("gcc", "eon"),
+    config: EvalConfig = EvalConfig(),
+    fairness_target: float = 0.5,
+) -> AblationResult:
+    profiles = pair.profiles()
+    ipc_st = [
+        run_single_thread(
+            stream,
+            miss_lat=profile.single_thread_stall(config.miss_lat),
+            min_instructions=config.st_min_instructions,
+        ).ipc
+        for stream, profile in zip(pair.streams(seed=config.seed), profiles)
+    ]
+    points = []
+
+    for period in (25_000.0, 100_000.0, 250_000.0, 1_000_000.0):
+        ipc, fair, forced = _run_one(
+            pair, config, fairness_target, ipc_st, sample_period=period
+        )
+        points.append(AblationPoint("delta", f"{period:,.0f}", ipc, fair, forced))
+
+    for quota in (10_000.0, 50_000.0, 100_000.0):
+        ipc, fair, forced = _run_one(
+            pair, config, fairness_target, ipc_st, max_cycles_quota=quota
+        )
+        points.append(
+            AblationPoint("max_cycles_quota", f"{quota:,.0f}", ipc, fair, forced)
+        )
+
+    for cap_label, cap in (("none", None), ("2x quota-ish", 10_000.0), ("tight", 2_000.0)):
+        ipc, fair, forced = _run_one(
+            pair, config, fairness_target, ipc_st, deficit_cap=cap
+        )
+        points.append(AblationPoint("deficit_cap", cap_label, ipc, fair, forced))
+
+    for assumed in (150.0, 300.0, 600.0):
+        ipc, fair, forced = _run_one(
+            pair, config, fairness_target, ipc_st, assumed_miss_lat=assumed
+        )
+        points.append(
+            AblationPoint("assumed_miss_lat", f"{assumed:g}", ipc, fair, forced)
+        )
+
+    return AblationResult(
+        pair_label=pair.label, fairness_target=fairness_target, points=points
+    )
+
+
+def render(result: AblationResult) -> str:
+    rows = [
+        [
+            p.knob,
+            p.value,
+            f"{p.total_ipc:.3f}",
+            f"{p.achieved_fairness:.3f}",
+            f"{p.forced_per_kcycle:.2f}",
+        ]
+        for p in result.points
+    ]
+    return format_table(
+        ["knob", "value", "IPC_SOE", "achieved fairness", "forced/kcyc"],
+        rows,
+        title=(
+            f"Ablations on {result.pair_label} at F = {result.fairness_target:g}"
+        ),
+    )

@@ -1,0 +1,171 @@
+"""Shared infrastructure for the paper-reproduction experiments.
+
+The evaluation figures (6, 7, 8) all consume the same grid of runs --
+every benchmark pair at every fairness level, plus each benchmark's
+single-thread reference -- so :func:`run_all_pairs` produces that grid
+once and the figure modules post-process it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.controller import FairnessController, FairnessParams
+from repro.engine.results import SoeRunResult
+from repro.engine.singlethread import run_single_thread
+from repro.engine.soe import RunLimits, SoeParams, run_soe
+from repro.errors import ConfigurationError
+from repro.workloads.pairs import BenchmarkPair, evaluation_pairs
+
+__all__ = [
+    "EvalConfig",
+    "PairResult",
+    "run_pair",
+    "run_all_pairs",
+    "format_table",
+]
+
+#: The fairness levels evaluated in the paper.
+PAPER_FAIRNESS_LEVELS = (0.0, 0.25, 0.5, 1.0)
+
+
+@dataclass(frozen=True)
+class EvalConfig:
+    """Evaluation-wide configuration (Section 4.1 defaults, scaled).
+
+    The paper simulates >= 6M instructions per thread after a 1M
+    instruction warmup; the default here is a 1.5M/1M scale that keeps a
+    full 16-pair sweep to a few seconds while preserving every result's
+    shape (segments are stationary, so the window length only controls
+    statistical noise). :meth:`paper_scale` restores the original
+    lengths.
+    """
+
+    miss_lat: float = 300.0
+    switch_lat: float = 25.0
+    max_cycles_quota: float = 50_000.0
+    sample_period: float = 250_000.0
+    min_instructions: float = 1_500_000.0
+    warmup_instructions: float = 1_000_000.0
+    st_min_instructions: float = 1_000_000.0
+    fairness_levels: tuple[float, ...] = PAPER_FAIRNESS_LEVELS
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.fairness_levels:
+            raise ConfigurationError("at least one fairness level is required")
+        if 0.0 not in self.fairness_levels:
+            raise ConfigurationError(
+                "fairness level 0 (the baseline) must be included"
+            )
+
+    @classmethod
+    def paper_scale(cls) -> "EvalConfig":
+        """The paper's run lengths (6M instructions + 1M warmup)."""
+        return cls(min_instructions=6_000_000.0, warmup_instructions=1_000_000.0,
+                   st_min_instructions=5_000_000.0)
+
+    @classmethod
+    def quick(cls) -> "EvalConfig":
+        """A reduced scale for smoke tests and CI."""
+        return cls(
+            sample_period=100_000.0,
+            min_instructions=400_000.0,
+            warmup_instructions=200_000.0,
+            st_min_instructions=300_000.0,
+        )
+
+    def soe_params(self) -> SoeParams:
+        return SoeParams(
+            miss_lat=self.miss_lat,
+            switch_lat=self.switch_lat,
+            max_cycles_quota=self.max_cycles_quota,
+        )
+
+    def run_limits(self) -> RunLimits:
+        return RunLimits(
+            min_instructions=self.min_instructions,
+            warmup_instructions=self.warmup_instructions,
+        )
+
+    def fairness_params(self, target: float) -> FairnessParams:
+        return FairnessParams(
+            fairness_target=target,
+            miss_lat=self.miss_lat,
+            sample_period=self.sample_period,
+        )
+
+
+@dataclass(frozen=True)
+class PairResult:
+    """All runs for one benchmark pair."""
+
+    pair: BenchmarkPair
+    #: measured real single-thread IPC per thread (run alone, with each
+    #: benchmark's overlapped miss stall)
+    ipc_st: tuple[float, float]
+    #: SOE run per fairness level (key 0.0 is the unenforced baseline)
+    runs: dict[float, SoeRunResult] = field(default_factory=dict)
+
+    @property
+    def baseline(self) -> SoeRunResult:
+        return self.runs[0.0]
+
+    def achieved_fairness(self, level: float) -> float:
+        return self.runs[level].achieved_fairness(self.ipc_st)
+
+    def normalized_throughput(self, level: float) -> float:
+        return self.runs[level].total_ipc / self.baseline.total_ipc
+
+
+def run_pair(pair: BenchmarkPair, config: EvalConfig = EvalConfig()) -> PairResult:
+    """Run one pair at every configured fairness level."""
+    profiles = pair.profiles()
+    ipc_st = tuple(
+        run_single_thread(
+            stream,
+            miss_lat=profile.single_thread_stall(config.miss_lat),
+            min_instructions=config.st_min_instructions,
+        ).ipc
+        for stream, profile in zip(pair.streams(seed=config.seed), profiles)
+    )
+    runs: dict[float, SoeRunResult] = {}
+    for level in config.fairness_levels:
+        streams = pair.streams(seed=config.seed)
+        if level > 0.0:
+            policy = FairnessController(len(streams), config.fairness_params(level))
+        else:
+            policy = None
+        runs[level] = run_soe(
+            streams, policy, config.soe_params(), config.run_limits()
+        )
+    return PairResult(pair=pair, ipc_st=ipc_st, runs=runs)
+
+
+def run_all_pairs(
+    config: EvalConfig = EvalConfig(),
+    pairs: Optional[Sequence[BenchmarkPair]] = None,
+) -> list[PairResult]:
+    """Run the full evaluation grid (16 pairs by default)."""
+    if pairs is None:
+        pairs = evaluation_pairs()
+    return [run_pair(pair, config) for pair in pairs]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render a simple aligned ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in cells[1:]:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

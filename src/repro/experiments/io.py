@@ -1,0 +1,52 @@
+"""Serialization of experiment results.
+
+Every experiment result in this package is a (possibly nested)
+dataclass, so one generic converter covers them all. JSON artefacts let
+downstream analysis (plotting, regression tracking) consume the
+reproduction's numbers without re-running simulations.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import math
+import pathlib
+from typing import Any, Union
+
+from repro.errors import ConfigurationError
+
+__all__ = ["result_to_jsonable", "write_json"]
+
+
+def result_to_jsonable(value: Any) -> Any:
+    """Convert an experiment result into JSON-encodable primitives.
+
+    Handles nested dataclasses, mappings (numeric keys become strings),
+    sequences, and non-finite floats (``inf`` serializes as the string
+    ``"inf"`` so strict JSON parsers can read the output).
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return {
+            field.name: result_to_jsonable(getattr(value, field.name))
+            for field in dataclasses.fields(value)
+        }
+    if isinstance(value, dict):
+        return {str(key): result_to_jsonable(item) for key, item in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [result_to_jsonable(item) for item in value]
+    if isinstance(value, float) and not math.isfinite(value):
+        return str(value)
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    # Objects that are not data (engine handles, callables...) have no
+    # place in a result artefact.
+    raise ConfigurationError(
+        f"cannot serialize {type(value).__name__} in an experiment result"
+    )
+
+
+def write_json(result: Any, path: Union[str, pathlib.Path]) -> None:
+    """Write an experiment result to ``path`` as pretty-printed JSON."""
+    payload = result_to_jsonable(result)
+    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,179 @@
+"""Experiment registry: one entry per paper table/figure.
+
+Each experiment exposes ``run()`` returning a result object and
+``render(result)`` returning printable text; the registry maps stable
+identifiers (used by the CLI and the benchmarks) to those modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.errors import ConfigurationError
+
+__all__ = ["Experiment", "EXPERIMENTS", "get_experiment", "experiment_ids"]
+
+
+@dataclass(frozen=True)
+class Experiment:
+    """A registered experiment."""
+
+    id: str
+    title: str
+    paper_reference: str
+    run: Callable[..., object]
+    render: Callable[[object], str]
+
+
+def _registry() -> dict[str, Experiment]:
+    # Imports are local so `import repro.experiments.registry` stays
+    # cheap and cycle-free.
+    from repro.experiments import (
+        ablations,
+        events,
+        fig3,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        sensitivity,
+        stability,
+        table2,
+        threadcount,
+        timesharing,
+        validation,
+        weighted,
+    )
+
+    experiments = [
+        Experiment(
+            "table2",
+            "Example 2: two threads with and without enforcement",
+            "Table 2",
+            table2.run,
+            table2.render,
+        ),
+        Experiment(
+            "fig3",
+            "Analytical fairness/throughput tradeoff",
+            "Figure 3",
+            fig3.run,
+            fig3.render,
+        ),
+        Experiment(
+            "fig5",
+            "Detailed examination of gcc:eon",
+            "Figure 5",
+            fig5.run,
+            fig5.render,
+        ),
+        Experiment(
+            "fig6",
+            "Per-pair SOE throughput",
+            "Figure 6",
+            fig6.run,
+            fig6.render,
+        ),
+        Experiment(
+            "fig7",
+            "Throughput degradation due to enforcement",
+            "Figure 7",
+            fig7.run,
+            fig7.render,
+        ),
+        Experiment(
+            "fig8",
+            "Achieved fairness",
+            "Figure 8",
+            fig8.run,
+            fig8.render,
+        ),
+        Experiment(
+            "timesharing",
+            "Time sharing vs fairness enforcement",
+            "Section 6",
+            timesharing.run,
+            timesharing.render,
+        ),
+        Experiment(
+            "validation",
+            "Detailed core vs segment engine vs analytical model",
+            "Sections 2.1, 5.1.1",
+            validation.run,
+            validation.render,
+        ),
+        Experiment(
+            "ablations",
+            "Mechanism parameter ablations",
+            "Sections 3.1, 6",
+            ablations.run,
+            ablations.render,
+        ),
+        Experiment(
+            "events",
+            "Variable-latency switch events with measured latencies",
+            "Section 6 (extension)",
+            events.run,
+            events.render,
+        ),
+        Experiment(
+            "threadcount",
+            "Throughput and fairness vs thread count",
+            "Section 1.1 context (extension)",
+            threadcount.run,
+            threadcount.render,
+        ),
+        Experiment(
+            "weighted",
+            "Prioritized (weighted) fairness enforcement",
+            "Eq. 7 generalization (extension)",
+            weighted.run,
+            weighted.render,
+        ),
+        Experiment(
+            "sensitivity",
+            "Machine-parameter sensitivity (memory/switch latency)",
+            "Eq. 5 / Sec. 2.5 what-if",
+            sensitivity.run,
+            sensitivity.render,
+        ),
+        Experiment(
+            "stability",
+            "Seed stability of the headline aggregates",
+            "methodology check",
+            stability.run,
+            stability.render,
+        ),
+    ]
+    return {e.id: e for e in experiments}
+
+
+#: Lazily-built registry cache.
+_CACHE: dict[str, Experiment] = {}
+
+
+def _experiments() -> dict[str, Experiment]:
+    if not _CACHE:
+        _CACHE.update(_registry())
+    return _CACHE
+
+
+def experiment_ids() -> list[str]:
+    """All registered experiment identifiers."""
+    return sorted(_experiments())
+
+
+def get_experiment(experiment_id: str) -> Experiment:
+    """Look up an experiment by id."""
+    experiments = _experiments()
+    if experiment_id not in experiments:
+        known = ", ".join(experiment_ids())
+        raise ConfigurationError(
+            f"unknown experiment {experiment_id!r}; known: {known}"
+        )
+    return experiments[experiment_id]
+
+
+# Keep a module-level alias for introspection/docs.
+EXPERIMENTS = _experiments

@@ -1,0 +1,23 @@
+"""Measurement and reporting helpers for SOE runs."""
+
+from repro.metrics.ascii_chart import bar_chart, line_chart
+from repro.metrics.report import (
+    FairnessSummary,
+    summarize_achieved_fairness,
+    truncated_fairness,
+)
+from repro.metrics.summary import geomean, mean, stdev
+from repro.metrics.throughput import normalized_throughput, soe_speedup_over_single_thread
+
+__all__ = [
+    "FairnessSummary",
+    "bar_chart",
+    "geomean",
+    "line_chart",
+    "mean",
+    "normalized_throughput",
+    "soe_speedup_over_single_thread",
+    "stdev",
+    "summarize_achieved_fairness",
+    "truncated_fairness",
+]

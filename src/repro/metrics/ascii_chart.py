@@ -1,0 +1,110 @@
+"""Terminal chart rendering for the figure experiments.
+
+The paper's artefacts are figures; the experiment runners print tables
+plus these lightweight ASCII plots so the *shape* of each result
+(crossovers, saturation, who wins where) is visible directly in a
+terminal or a CI log, without a plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["line_chart", "bar_chart"]
+
+_MARKERS = "ox+*#@%&"
+
+
+def _bounds(values: Sequence[float]) -> tuple[float, float]:
+    lo, hi = min(values), max(values)
+    if lo == hi:
+        lo -= 0.5
+        hi += 0.5
+    return lo, hi
+
+
+def line_chart(
+    series: Mapping[str, Sequence[float]],
+    x_values: Optional[Sequence[float]] = None,
+    width: int = 64,
+    height: int = 14,
+    y_label: str = "",
+) -> str:
+    """Plot one or more series against a shared x axis.
+
+    Each series gets its own marker; overlapping points show the later
+    series' marker. The y axis is annotated with min/max, the x axis
+    with its first and last values.
+    """
+    if not series:
+        raise ConfigurationError("at least one series is required")
+    lengths = {len(v) for v in series.values()}
+    if len(lengths) != 1:
+        raise ConfigurationError("all series must have the same length")
+    (length,) = lengths
+    if length < 2:
+        raise ConfigurationError("series need at least two points")
+    if x_values is None:
+        x_values = list(range(length))
+    if len(x_values) != length:
+        raise ConfigurationError("x_values length must match the series")
+    if width < 8 or height < 3:
+        raise ConfigurationError("chart must be at least 8x3")
+
+    all_values = [v for values in series.values() for v in values]
+    lo, hi = _bounds(all_values)
+    x_lo, x_hi = _bounds(list(x_values))
+
+    grid = [[" "] * width for _ in range(height)]
+    for series_index, (label, values) in enumerate(series.items()):
+        marker = _MARKERS[series_index % len(_MARKERS)]
+        for x, y in zip(x_values, values):
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((hi - y) / (hi - lo) * (height - 1))
+            grid[row][col] = marker
+
+    lines = []
+    if y_label:
+        lines.append(y_label)
+    for index, row in enumerate(grid):
+        if index == 0:
+            prefix = f"{hi:>8.3g} |"
+        elif index == height - 1:
+            prefix = f"{lo:>8.3g} |"
+        else:
+            prefix = " " * 8 + " |"
+        lines.append(prefix + "".join(row))
+    lines.append(" " * 9 + "+" + "-" * width)
+    lines.append(
+        " " * 10 + f"{x_lo:<.4g}" + " " * max(1, width - 16) + f"{x_hi:>.4g}"
+    )
+    legend = "   ".join(
+        f"{_MARKERS[i % len(_MARKERS)]} {label}"
+        for i, label in enumerate(series)
+    )
+    lines.append(" " * 10 + legend)
+    return "\n".join(lines)
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    width: int = 48,
+    show_value: bool = True,
+) -> str:
+    """Horizontal bar chart, one labelled row per entry."""
+    if not values:
+        raise ConfigurationError("at least one bar is required")
+    if width < 4:
+        raise ConfigurationError("chart must be at least 4 wide")
+    peak = max(abs(v) for v in values.values())
+    if peak == 0:
+        peak = 1.0
+    label_width = max(len(label) for label in values)
+    lines = []
+    for label, value in values.items():
+        bar = "#" * max(1, round(abs(value) / peak * width)) if value else ""
+        suffix = f"  {value:.3g}" if show_value else ""
+        lines.append(f"{label:<{label_width}} |{bar}{suffix}")
+    return "\n".join(lines)

@@ -1,0 +1,58 @@
+"""Achieved-fairness reporting (Figure 8 support).
+
+Figure 8 (right) averages ``min(F, achieved_fairness)`` across runs:
+truncating at the target F removes the bias of runs that are fair even
+without enforcement (they would otherwise pull the average towards 1
+regardless of the mechanism). No truncation is applied for F = 0.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+
+__all__ = ["truncated_fairness", "FairnessSummary", "summarize_achieved_fairness"]
+
+
+def truncated_fairness(achieved: float, fairness_target: float) -> float:
+    """``min(F, achieved)``, except no truncation when F = 0."""
+    if not 0.0 <= fairness_target <= 1.0:
+        raise ConfigurationError("fairness target must be in [0, 1]")
+    if not 0.0 <= achieved <= 1.0 + 1e-9:
+        raise ConfigurationError(f"achieved fairness out of range: {achieved}")
+    if fairness_target == 0.0:
+        return achieved
+    return min(fairness_target, achieved)
+
+
+@dataclass(frozen=True)
+class FairnessSummary:
+    """Mean and standard deviation of (truncated) achieved fairness."""
+
+    fairness_target: float
+    mean: float
+    stdev: float
+    count: int
+
+
+def summarize_achieved_fairness(
+    achieved_values: Sequence[float], fairness_target: float
+) -> FairnessSummary:
+    """Figure 8 (right): aggregate achieved fairness across runs."""
+    if not achieved_values:
+        raise ConfigurationError("at least one run is required")
+    truncated = [truncated_fairness(v, fairness_target) for v in achieved_values]
+    mean = sum(truncated) / len(truncated)
+    if len(truncated) > 1:
+        variance = sum((v - mean) ** 2 for v in truncated) / (len(truncated) - 1)
+    else:
+        variance = 0.0
+    return FairnessSummary(
+        fairness_target=fairness_target,
+        mean=mean,
+        stdev=math.sqrt(variance),
+        count=len(truncated),
+    )

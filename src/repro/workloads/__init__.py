@@ -1,0 +1,33 @@
+"""Workload generation: SPEC CPU2000 substitutes and synthetic streams."""
+
+from repro.workloads.cpu_mapping import cpu_spec_for_profile
+from repro.workloads.events import EventType, mean_event_latency, multi_event_stream
+from repro.workloads.pairs import EVALUATION_PAIRS, BenchmarkPair, evaluation_pairs
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.spec2000 import PROFILES, benchmark_names, get_profile
+from repro.workloads.synthetic import (
+    Phase,
+    SegmentDistribution,
+    make_stream,
+    phased_stream,
+    uniform_stream,
+)
+
+__all__ = [
+    "EVALUATION_PAIRS",
+    "EventType",
+    "BenchmarkPair",
+    "BenchmarkProfile",
+    "PROFILES",
+    "Phase",
+    "SegmentDistribution",
+    "benchmark_names",
+    "cpu_spec_for_profile",
+    "evaluation_pairs",
+    "get_profile",
+    "make_stream",
+    "mean_event_latency",
+    "multi_event_stream",
+    "phased_stream",
+    "uniform_stream",
+]

@@ -1,0 +1,116 @@
+"""Multi-event workloads (paper Section 6 extension).
+
+The base SOE scheme switches only on last-level cache misses, all with
+one latency. Section 6 proposes extending the trigger to any detectable
+long-latency stall -- L1 misses that may hit the L2 (short, variable
+latency), explicit ``pause`` hints, and so on -- and measuring each
+event's latency at runtime.
+
+:func:`multi_event_stream` builds segment streams whose terminating
+events are drawn from a mixture of :class:`EventType` values, each with
+its own mean spacing and stall latency. Together with
+``FairnessParams(measure_miss_latency=True)`` this exercises the full
+Section 6 path: the estimator sees the *measured* per-thread average
+latency instead of assuming the memory constant.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from repro.engine.segments import Segment, SegmentStream
+from repro.errors import ConfigurationError
+
+__all__ = ["EventType", "multi_event_stream", "mean_event_latency"]
+
+
+@dataclass(frozen=True)
+class EventType:
+    """One class of switch-triggering event.
+
+    Parameters
+    ----------
+    ipm:
+        Mean instructions between events of this type.
+    latency:
+        The event's stall latency in cycles (e.g. ~40 for an L1 miss
+        that hits the L2, 300 for a memory access, ~0 for a pause hint).
+    """
+
+    ipm: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.ipm <= 0:
+            raise ConfigurationError("event ipm must be positive")
+        if self.latency < 0:
+            raise ConfigurationError("event latency must be non-negative")
+
+    @property
+    def rate(self) -> float:
+        """Events per instruction."""
+        return 1.0 / self.ipm
+
+
+def mean_event_latency(events: Sequence[EventType]) -> float:
+    """Rate-weighted mean stall latency of an event mixture.
+
+    This is the value a per-thread latency monitor converges to, and
+    the correct constant for Eq. 13 on such a workload.
+    """
+    if not events:
+        raise ConfigurationError("at least one event type is required")
+    total_rate = sum(e.rate for e in events)
+    return sum(e.rate * e.latency for e in events) / total_rate
+
+
+def _generate(
+    events: Sequence[EventType],
+    ipc_no_miss: float,
+    seed: int,
+) -> Iterator[Segment]:
+    rng = random.Random(seed)
+    total_rate = sum(e.rate for e in events)
+    mean_spacing = 1.0 / total_rate
+    cumulative = []
+    acc = 0.0
+    for event in events:
+        acc += event.rate / total_rate
+        cumulative.append((acc, event))
+    while True:
+        instructions = max(1.0, rng.expovariate(1.0 / mean_spacing))
+        roll = rng.random()
+        chosen = cumulative[-1][1]
+        for threshold, event in cumulative:
+            if roll <= threshold:
+                chosen = event
+                break
+        yield Segment(
+            instructions=instructions,
+            cycles=instructions / ipc_no_miss,
+            miss_latency=chosen.latency,
+        )
+
+
+def multi_event_stream(
+    ipc_no_miss: float,
+    events: Sequence[EventType],
+    seed: int = 0,
+    name: str = "",
+) -> SegmentStream:
+    """A stream whose segments end with a mixture of event types.
+
+    Segment lengths are exponentially distributed with the mixture's
+    combined rate; the terminating event type is drawn proportionally
+    to each type's rate, and carries that type's latency.
+    """
+    if ipc_no_miss <= 0:
+        raise ConfigurationError("ipc_no_miss must be positive")
+    if not events:
+        raise ConfigurationError("at least one event type is required")
+    event_list = tuple(events)
+    return SegmentStream(
+        lambda: _generate(event_list, ipc_no_miss, seed), name=name
+    )

@@ -1,0 +1,111 @@
+"""Benchmark profile abstraction.
+
+A :class:`BenchmarkProfile` captures, for one benchmark, the statistics
+the paper's model cares about: retirement rate between misses
+(``IPC_no_miss``), instructions per last-level miss (``IPM``), their
+variability, and optional phase structure. A profile can produce:
+
+* :class:`~repro.core.model.ThreadParams` for the analytical model;
+* a :class:`~repro.engine.segments.SegmentStream` for the segment
+  engine (deterministic per seed, offsettable for same-benchmark pairs).
+
+The concrete SPEC CPU2000 substitute catalogue lives in
+:mod:`repro.workloads.spec2000`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from repro.core.model import ThreadParams
+from repro.engine.segments import SegmentStream
+from repro.errors import ConfigurationError
+from repro.workloads.synthetic import Phase, SegmentDistribution, make_stream
+
+__all__ = ["BenchmarkProfile"]
+
+
+@dataclass(frozen=True)
+class BenchmarkProfile:
+    """Segment-statistics profile of one benchmark.
+
+    ``phases``, when given, overrides the flat (ipc_no_miss, ipm)
+    behaviour with an explicit phase schedule; the flat parameters then
+    describe the *aggregate* behaviour used by the analytical model.
+    """
+
+    name: str
+    ipc_no_miss: float
+    ipm: float
+    ipm_cv: float = 0.7
+    ipc_cv: float = 0.1
+    #: Fraction of the miss latency hidden by the out-of-order core when
+    #: the thread runs *alone* (clustered-miss overlap / prefetching,
+    #: paper footnotes 2 and 5). In SOE mode the stall is instead hidden
+    #: by the other thread, so the full memory latency still gates the
+    #: missing thread's readiness. A nonzero overlap therefore (a)
+    #: raises the real single-thread IPC above Eq. 1's value and (b)
+    #: makes the runtime estimator's IPC_ST "usually slightly lower than
+    #: the real IPC_ST" exactly as Section 5.1.1 reports.
+    miss_overlap: float = 0.0
+    phases: Optional[tuple[Phase, ...]] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.ipc_no_miss <= 0 or self.ipm <= 0:
+            raise ConfigurationError(
+                f"profile {self.name!r}: ipc_no_miss and ipm must be positive"
+            )
+        if not 0.0 <= self.miss_overlap < 1.0:
+            raise ConfigurationError(
+                f"profile {self.name!r}: miss_overlap must be in [0, 1)"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def cpm(self) -> float:
+        return self.ipm / self.ipc_no_miss
+
+    def thread_params(self) -> ThreadParams:
+        """The profile as analytical-model thread parameters."""
+        return ThreadParams(ipc_no_miss=self.ipc_no_miss, ipm=self.ipm)
+
+    def single_thread_stall(self, miss_lat: float = 300.0) -> float:
+        """Effective per-miss stall when the thread runs alone: the
+        memory latency minus the part the OOO core overlaps."""
+        return (1.0 - self.miss_overlap) * miss_lat
+
+    def single_thread_ipc(self, miss_lat: float = 300.0) -> float:
+        """Model-predicted real ``IPC_ST`` (Eq. 1 with the overlapped
+        stall); the measured value comes from
+        :func:`repro.engine.run_single_thread` using
+        :meth:`single_thread_stall` as its miss latency."""
+        return self.ipm / (self.cpm + self.single_thread_stall(miss_lat))
+
+    # ------------------------------------------------------------------
+    def _phases(self) -> Sequence[Phase]:
+        if self.phases is not None:
+            return self.phases
+        return (
+            Phase(
+                SegmentDistribution(
+                    self.ipc_no_miss, self.ipm, self.ipm_cv, self.ipc_cv
+                ),
+                math.inf,
+            ),
+        )
+
+    def stream(self, seed: int = 0, skip_instructions: float = 0.0) -> SegmentStream:
+        """A deterministic segment stream for this benchmark.
+
+        ``skip_instructions`` offsets the stream, used when the same
+        benchmark runs on both threads (the paper offsets by 1,000,000
+        instructions).
+        """
+        return make_stream(
+            self._phases(),
+            seed=seed,
+            skip_instructions=skip_instructions,
+            name=self.name,
+        )

@@ -1,0 +1,197 @@
+"""Synthetic micro-op trace generation for the detailed core.
+
+A :class:`CpuWorkloadSpec` describes a thread the way the paper's
+program model sees it -- a retirement rate between misses (set
+indirectly through instruction-level parallelism and operation mix) and
+a mean instruction distance between last-level misses (``ipm``) -- and
+:func:`make_trace` expands it into a concrete replayable
+:class:`~repro.cpu.program.TraceProgram`:
+
+* dependency chains: uops are dealt round-robin across ``ilp``
+  independent serial chains, which caps the sustainable IPC at roughly
+  ``min(ports, ilp / mean_latency)``;
+* memory behaviour: most loads/stores hit a small hot working set;
+  a load every ~``ipm`` instructions (geometric) walks a streaming
+  region far larger than the L2 and misses to memory;
+* control: a branch every ~``1/branch_fraction`` uops; most follow a
+  loop pattern the gshare predictor learns, a ``branch_noise`` fraction
+  are random and mispredict about half the time;
+* code footprint: pcs walk a loop that fits (or not) in the L1I.
+
+Threads get disjoint address spaces (distinct ``thread_index``), so in
+SOE mode they compete for shared cache *sets* without aliasing to the
+same lines.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Iterator
+
+from repro.cpu.isa import MicroOp, OpClass
+from repro.cpu.program import TraceProgram
+from repro.errors import ConfigurationError
+from repro.workloads.addresses import HotSetAccessor, StreamingAccessor
+
+__all__ = ["CpuWorkloadSpec", "make_trace", "COMPUTE_SPEC", "MEMORY_SPEC", "MIXED_SPEC"]
+
+#: Address-space stride between threads (1 GiB).
+_THREAD_STRIDE = 1 << 30
+#: Streaming region size (16 MiB, far beyond a 2 MiB L2).
+_STREAM_REGION = 16 * 1024 * 1024
+
+
+@dataclass(frozen=True)
+class CpuWorkloadSpec:
+    """Parameters of one synthetic thread for the detailed core."""
+
+    name: str
+    #: independent dependency chains (ILP); higher -> higher IPC_no_miss
+    ilp: int = 6
+    #: mean instructions between streaming (L2-missing) loads
+    ipm: float = 2_000.0
+    load_fraction: float = 0.25
+    store_fraction: float = 0.10
+    branch_fraction: float = 0.12
+    mul_fraction: float = 0.05
+    fp_fraction: float = 0.05
+    #: fraction of branches with random direction (~50% mispredicted)
+    branch_noise: float = 0.05
+    #: hot working-set bytes (L1-resident by default)
+    hot_bytes: int = 16 * 1024
+    #: code loop footprint in bytes
+    code_bytes: int = 8 * 1024
+
+    def __post_init__(self) -> None:
+        if self.ilp < 1:
+            raise ConfigurationError("ilp must be at least 1")
+        if self.ipm <= 1:
+            raise ConfigurationError("ipm must exceed 1")
+        fractions = (
+            self.load_fraction,
+            self.store_fraction,
+            self.branch_fraction,
+            self.mul_fraction,
+            self.fp_fraction,
+        )
+        if any(f < 0 for f in fractions) or sum(fractions) >= 1.0:
+            raise ConfigurationError("op-mix fractions must be >= 0 and sum < 1")
+        if not 0.0 <= self.branch_noise <= 1.0:
+            raise ConfigurationError("branch_noise must be in [0, 1]")
+
+
+def _build_layout(
+    spec: CpuWorkloadSpec, rng: random.Random
+) -> list[tuple[OpClass, int, bool]]:
+    """Static code layout: (opclass, chain register, is_noise_branch)
+    per pc slot.
+
+    Real programs have a fixed instruction at each pc, so the layout is
+    drawn once and replayed every loop iteration -- that is what lets
+    the predictor/BTB learn and the I-cache settle, exactly as with
+    real code. Only data addresses, noise-branch outcomes and the
+    miss-load selection vary per dynamic instance.
+    """
+    slots = spec.code_bytes // 4
+    layout = []
+    load_cut = spec.load_fraction
+    store_cut = load_cut + spec.store_fraction
+    branch_cut = store_cut + spec.branch_fraction
+    mul_cut = branch_cut + spec.mul_fraction
+    fp_cut = mul_cut + spec.fp_fraction
+    for slot in range(slots):
+        chain_reg = slot % spec.ilp
+        roll = rng.random()
+        if roll < load_cut:
+            opclass = OpClass.LOAD
+        elif roll < store_cut:
+            opclass = OpClass.STORE
+        elif roll < branch_cut:
+            opclass = OpClass.BRANCH
+        elif roll < mul_cut:
+            opclass = OpClass.MUL
+        elif roll < fp_cut:
+            opclass = OpClass.FP
+        else:
+            opclass = OpClass.ALU
+        noise_branch = (
+            opclass is OpClass.BRANCH and rng.random() < spec.branch_noise
+        )
+        layout.append((opclass, chain_reg, noise_branch))
+    return layout
+
+
+def _generate(
+    spec: CpuWorkloadSpec, seed: int, thread_index: int
+) -> Iterator[MicroOp]:
+    rng = random.Random((seed << 8) ^ thread_index)
+    base = thread_index * _THREAD_STRIDE
+    code_base = base
+    data_base = base + (1 << 24)
+    stream_base = base + (1 << 26)
+
+    hot = HotSetAccessor(data_base, spec.hot_bytes, rng)
+    stream = StreamingAccessor(stream_base, _STREAM_REGION)
+    layout = _build_layout(spec, random.Random(seed * 7919 + 13))
+    # Adjust the miss probability for loads only: a miss-load every
+    # ~ipm *instructions* means a higher per-load probability.
+    miss_probability = min(1.0, 1.0 / (spec.ipm * spec.load_fraction))
+
+    slot = 0
+    while True:
+        opclass, chain_reg, noise_branch = layout[slot]
+        pc = code_base + slot * 4
+        slot = (slot + 1) % len(layout)
+
+        if opclass is OpClass.LOAD:
+            if rng.random() < miss_probability:
+                address = stream.next_address()
+            else:
+                address = hot.next_address()
+            yield MicroOp(
+                OpClass.LOAD, pc, dest=chain_reg, srcs=(chain_reg,), address=address
+            )
+        elif opclass is OpClass.STORE:
+            yield MicroOp(
+                OpClass.STORE, pc, srcs=(chain_reg,), address=hot.next_address()
+            )
+        elif opclass is OpClass.BRANCH:
+            taken = rng.random() < 0.5 if noise_branch else True
+            target = code_base + slot * 4
+            yield MicroOp(
+                OpClass.BRANCH, pc, srcs=(chain_reg,), taken=taken, target=target
+            )
+        elif opclass is OpClass.MUL:
+            yield MicroOp(OpClass.MUL, pc, dest=chain_reg, srcs=(chain_reg,))
+        elif opclass is OpClass.FP:
+            yield MicroOp(OpClass.FP, pc, dest=chain_reg, srcs=(chain_reg,))
+        else:
+            yield MicroOp(OpClass.ALU, pc, dest=chain_reg, srcs=(chain_reg,))
+
+
+def make_trace(
+    spec: CpuWorkloadSpec, seed: int = 0, thread_index: int = 0
+) -> TraceProgram:
+    """A restartable trace for one thread of the detailed core."""
+    return TraceProgram(
+        lambda: _generate(spec, seed, thread_index),
+        name=f"{spec.name}#{thread_index}",
+    )
+
+
+#: Representative specs used by the validation experiment: an eon-like
+#: compute-bound thread, a swim-like memory-bound thread, and a
+#: gcc-like mixed thread.
+COMPUTE_SPEC = CpuWorkloadSpec(
+    name="cpu-compute", ilp=8, ipm=50_000.0, load_fraction=0.20,
+    store_fraction=0.08, branch_fraction=0.12, branch_noise=0.02,
+)
+MEMORY_SPEC = CpuWorkloadSpec(
+    name="cpu-memory", ilp=6, ipm=500.0, load_fraction=0.30,
+    store_fraction=0.10, branch_fraction=0.08, branch_noise=0.03,
+)
+MIXED_SPEC = CpuWorkloadSpec(
+    name="cpu-mixed", ilp=4, ipm=2_000.0, load_fraction=0.25,
+    store_fraction=0.10, branch_fraction=0.14, branch_noise=0.08,
+)

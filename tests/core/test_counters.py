@@ -1,0 +1,95 @@
+"""Tests for the per-thread hardware counters (Section 3.1)."""
+
+import pytest
+
+from repro.core.counters import CounterSample, HardwareCounters
+from repro.errors import ConfigurationError
+
+
+class TestCounterSample:
+    def test_ipm_eq11(self):
+        sample = CounterSample(instructions=30_000, cycles=12_000, misses=2)
+        assert sample.ipm == pytest.approx(15_000)
+
+    def test_cpm_eq12(self):
+        sample = CounterSample(instructions=30_000, cycles=12_000, misses=2)
+        assert sample.cpm == pytest.approx(6_000)
+
+    def test_zero_misses_uses_max_misses_one(self):
+        # The paper's max(Misses, 1) guard.
+        sample = CounterSample(instructions=5_000, cycles=2_000, misses=0)
+        assert sample.ipm == pytest.approx(5_000)
+        assert sample.cpm == pytest.approx(2_000)
+
+    def test_estimated_ipc_st_eq13(self):
+        sample = CounterSample(instructions=15_000, cycles=6_000, misses=1)
+        assert sample.estimated_single_thread_ipc(300) == pytest.approx(
+            15_000 / 6_300
+        )
+
+    def test_zero_miss_window_underestimates_ipc_st(self):
+        # Section 3.1: with Misses = 1 substituted, the estimate is low
+        # but usable.
+        sample = CounterSample(instructions=5_000, cycles=2_000, misses=0)
+        estimate = sample.estimated_single_thread_ipc(300)
+        true_no_miss_ipc = 2.5
+        assert 0 < estimate < true_no_miss_ipc
+
+    def test_empty_sample(self):
+        sample = CounterSample(0, 0, 0)
+        assert sample.is_empty
+        assert sample.estimated_single_thread_ipc(300) == 0.0
+
+    def test_rejects_negative_counts(self):
+        with pytest.raises(ConfigurationError):
+            CounterSample(-1, 0, 0)
+        with pytest.raises(ConfigurationError):
+            CounterSample(0, -1, 0)
+        with pytest.raises(ConfigurationError):
+            CounterSample(0, 0, -1)
+
+
+class TestHardwareCounters:
+    def test_accumulates_retirement(self):
+        counters = HardwareCounters()
+        counters.retire(100, 40)
+        counters.retire(200, 90)
+        sample = counters.current
+        assert sample.instructions == pytest.approx(300)
+        assert sample.cycles == pytest.approx(130)
+
+    def test_counts_misses(self):
+        counters = HardwareCounters()
+        counters.record_miss()
+        counters.record_miss()
+        assert counters.current.misses == 2
+
+    def test_sample_and_reset_clears_window(self):
+        counters = HardwareCounters()
+        counters.retire(500, 250)
+        counters.record_miss()
+        first = counters.sample_and_reset()
+        assert first.instructions == pytest.approx(500)
+        assert first.misses == 1
+        second = counters.current
+        assert second.is_empty
+        assert second.misses == 0
+
+    def test_windows_are_independent(self):
+        counters = HardwareCounters()
+        counters.retire(100, 50)
+        counters.sample_and_reset()
+        counters.retire(7, 3)
+        assert counters.current.instructions == pytest.approx(7)
+
+    def test_rejects_negative_retirement(self):
+        counters = HardwareCounters()
+        with pytest.raises(ConfigurationError):
+            counters.retire(-1, 1)
+        with pytest.raises(ConfigurationError):
+            counters.retire(1, -1)
+
+    def test_rejects_non_finite_retirement(self):
+        counters = HardwareCounters()
+        with pytest.raises(ConfigurationError):
+            counters.retire(float("inf"), 1)

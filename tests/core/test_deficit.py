@@ -1,0 +1,97 @@
+"""Tests for the deficit counter mechanism (Section 3.2)."""
+
+import math
+
+import pytest
+
+from repro.core.deficit import DeficitCounter
+from repro.errors import ConfigurationError
+
+
+class TestDeficitCounter:
+    def test_starts_at_zero(self):
+        counter = DeficitCounter()
+        assert counter.remaining == 0.0
+        assert counter.exhausted
+
+    def test_grant_increments_not_resets(self):
+        # The DRR carry-over: unused quota adds to the next grant.
+        counter = DeficitCounter()
+        counter.grant(1_000)
+        counter.consume(400)  # miss after 400 instructions
+        counter.grant(1_000)
+        assert counter.remaining == pytest.approx(1_600)
+
+    def test_consume_decrements(self):
+        counter = DeficitCounter()
+        counter.grant(100)
+        counter.consume(30)
+        assert counter.remaining == pytest.approx(70)
+        assert not counter.exhausted
+
+    def test_exhaustion_at_zero(self):
+        counter = DeficitCounter()
+        counter.grant(50)
+        counter.consume(50)
+        assert counter.exhausted
+
+    def test_consume_clamps_at_zero(self):
+        counter = DeficitCounter()
+        counter.grant(10)
+        counter.consume(15)
+        assert counter.remaining == 0.0
+
+    def test_average_instructions_per_switch_converges(self):
+        # The whole point of deficit counting: with misses cutting every
+        # dispatch short, the average instructions per switch still
+        # converges to the quota.
+        quota = 1_000.0
+        miss_every = 700.0  # miss arrives before the quota each time
+        counter = DeficitCounter()
+        retired = 0.0
+        switches = 0
+        for _ in range(1_000):
+            counter.grant(quota)
+            # run until deficit exhausted or a miss, whichever first
+            run = min(counter.remaining, miss_every)
+            counter.consume(run)
+            retired += run
+            switches += 1
+        assert retired / switches == pytest.approx(quota, rel=0.35)
+
+    def test_infinite_quota(self):
+        counter = DeficitCounter()
+        counter.grant(math.inf)
+        counter.consume(1e12)
+        assert counter.remaining == math.inf
+
+    def test_finite_grant_after_infinite_resets(self):
+        # Leftover from an unenforced window is meaningless.
+        counter = DeficitCounter()
+        counter.grant(math.inf)
+        counter.grant(500)
+        assert counter.remaining == pytest.approx(500)
+
+    def test_cap_bounds_accumulation(self):
+        counter = DeficitCounter(cap=1_500)
+        counter.grant(1_000)
+        counter.grant(1_000)
+        assert counter.remaining == pytest.approx(1_500)
+
+    def test_reset(self):
+        counter = DeficitCounter()
+        counter.grant(100)
+        counter.reset()
+        assert counter.remaining == 0.0
+
+    def test_rejects_negative_quota(self):
+        with pytest.raises(ConfigurationError):
+            DeficitCounter().grant(-1)
+
+    def test_rejects_negative_consumption(self):
+        with pytest.raises(ConfigurationError):
+            DeficitCounter().consume(-1)
+
+    def test_rejects_non_positive_cap(self):
+        with pytest.raises(ConfigurationError):
+            DeficitCounter(cap=0)

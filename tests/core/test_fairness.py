@@ -1,0 +1,103 @@
+"""Tests for the fairness metric (Eq. 4) and related metrics."""
+
+import pytest
+
+from repro.core.fairness import (
+    fairness,
+    fairness_from_ipcs,
+    harmonic_mean_fairness,
+    speedups,
+    weighted_speedup,
+)
+from repro.errors import ConfigurationError
+
+
+class TestSpeedups:
+    def test_elementwise_ratio(self):
+        assert speedups([1.0, 2.0], [2.0, 2.0]) == [0.5, 1.0]
+
+    def test_starved_thread_has_zero_speedup(self):
+        assert speedups([0.0, 1.0], [1.5, 2.0])[0] == 0.0
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            speedups([1.0], [1.0, 2.0])
+
+    def test_rejects_non_positive_single_thread_ipc(self):
+        with pytest.raises(ConfigurationError):
+            speedups([1.0], [0.0])
+
+    def test_rejects_negative_soe_ipc(self):
+        with pytest.raises(ConfigurationError):
+            speedups([-0.1], [1.0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            speedups([], [])
+
+
+class TestFairness:
+    def test_perfect_fairness_for_equal_speedups(self):
+        assert fairness([0.63, 0.63]) == pytest.approx(1.0)
+
+    def test_example2_unenforced_value(self):
+        # Paper Example 2: speedups ~0.977 and ~0.108 give fairness 0.11.
+        assert fairness([0.977, 0.108]) == pytest.approx(0.11, abs=0.005)
+
+    def test_starved_thread_gives_zero(self):
+        assert fairness([0.0, 0.9]) == 0.0
+
+    def test_bounded_by_zero_and_one(self):
+        assert 0.0 <= fairness([0.3, 1.8, 0.9]) <= 1.0
+
+    def test_multi_thread_uses_extremes(self):
+        # min/max ratio, not adjacent pairs.
+        assert fairness([0.5, 1.0, 0.25]) == pytest.approx(0.25)
+
+    def test_single_thread_is_trivially_fair(self):
+        assert fairness([0.7]) == 1.0
+
+    def test_all_starved_degenerate_case(self):
+        assert fairness([0.0, 0.0]) == 1.0
+
+    def test_scale_invariance(self):
+        assert fairness([0.2, 0.4]) == pytest.approx(fairness([0.1, 0.2]))
+
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigurationError):
+            fairness([-0.5, 1.0])
+
+    def test_from_ipcs_composes(self):
+        assert fairness_from_ipcs([1.0, 1.0], [2.0, 4.0]) == pytest.approx(0.5)
+
+
+class TestWeightedSpeedup:
+    def test_is_the_sum(self):
+        assert weighted_speedup([0.5, 0.7]) == pytest.approx(1.2)
+
+    def test_is_insensitive_to_starvation_pattern(self):
+        # Section 6's criticism: these two systems score identically
+        # although one starves a thread.
+        balanced = weighted_speedup([0.6, 0.6])
+        starved = weighted_speedup([1.15, 0.05])
+        assert balanced == pytest.approx(starved)
+
+
+class TestHarmonicMeanFairness:
+    def test_equal_speedups(self):
+        assert harmonic_mean_fairness([0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_starved_thread_gives_zero(self):
+        assert harmonic_mean_fairness([0.0, 1.0]) == 0.0
+
+    def test_less_strict_than_min_ratio(self):
+        # The paper notes its metric is stricter: enforcing min-ratio
+        # fairness improves the harmonic mean, but a reasonable harmonic
+        # mean can hide a large speedup imbalance.
+        imbalanced = [0.9, 0.3]
+        assert fairness(imbalanced) == pytest.approx(1 / 3)
+        assert harmonic_mean_fairness(imbalanced) == pytest.approx(0.45)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            harmonic_mean_fairness([])

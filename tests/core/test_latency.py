@@ -1,0 +1,90 @@
+"""Tests for the miss-latency monitor (Section 6)."""
+
+import pytest
+
+from repro.core.latency import MissLatencyMonitor
+from repro.errors import ConfigurationError
+
+
+class TestMissLatencyMonitor:
+    def test_defaults_until_first_observation(self):
+        monitor = MissLatencyMonitor(2, default_latency=300.0)
+        assert monitor.latency(0) == 300.0
+        assert monitor.latencies() == [300.0, 300.0]
+
+    def test_window_average(self):
+        monitor = MissLatencyMonitor(1, 300.0)
+        monitor.record(0, 40.0)
+        monitor.record(0, 40.0)
+        monitor.record(0, 300.0)
+        averages = monitor.sample_and_reset()
+        assert averages[0] == pytest.approx((40 + 40 + 300) / 3)
+
+    def test_threads_independent(self):
+        monitor = MissLatencyMonitor(2, 300.0)
+        monitor.record(0, 40.0)
+        monitor.record(1, 200.0)
+        averages = monitor.sample_and_reset()
+        assert averages[0] == pytest.approx(40.0)
+        assert averages[1] == pytest.approx(200.0)
+
+    def test_empty_window_keeps_previous_measurement(self):
+        monitor = MissLatencyMonitor(1, 300.0)
+        monitor.record(0, 40.0)
+        monitor.sample_and_reset()
+        second = monitor.sample_and_reset()
+        assert second[0] == pytest.approx(40.0)
+
+    def test_windows_do_not_leak(self):
+        monitor = MissLatencyMonitor(1, 300.0)
+        monitor.record(0, 100.0)
+        monitor.sample_and_reset()
+        monitor.record(0, 200.0)
+        assert monitor.sample_and_reset()[0] == pytest.approx(200.0)
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ConfigurationError):
+            MissLatencyMonitor(0, 300.0)
+        with pytest.raises(ConfigurationError):
+            MissLatencyMonitor(1, -1.0)
+        with pytest.raises(ConfigurationError):
+            MissLatencyMonitor(1, 300.0).record(0, -5.0)
+
+
+class TestControllerWithLatencyMeasurement:
+    def test_measured_latency_flows_into_estimates(self):
+        from repro.core.controller import FairnessController, FairnessParams
+
+        controller = FairnessController(
+            2,
+            FairnessParams(
+                fairness_target=1.0, miss_lat=300.0, measure_miss_latency=True
+            ),
+        )
+        # Thread 0 sees short events (latency 40), thread 1 classic 300s.
+        controller.on_retired(0, 10_000, 5_000)
+        for _ in range(10):
+            controller.on_miss(0, 0.0, latency=40.0)
+        controller.on_retired(1, 10_000, 5_000)
+        for _ in range(5):
+            controller.on_miss(1, 0.0, latency=300.0)
+        controller.on_boundary(250_000.0)
+
+        estimates = controller.estimates
+        # Eq. 13 with the measured latency: thread 0's IPC_ST must be
+        # evaluated against 40-cycle stalls, not 300-cycle ones.
+        assert estimates[0].miss_lat == pytest.approx(40.0)
+        assert estimates[0].ipc_st == pytest.approx(1_000 / (500 + 40))
+        assert estimates[1].ipc_st == pytest.approx(2_000 / (1_000 + 300))
+
+    def test_without_measurement_latency_is_ignored(self):
+        from repro.core.controller import FairnessController, FairnessParams
+
+        controller = FairnessController(
+            2, FairnessParams(fairness_target=1.0, miss_lat=300.0)
+        )
+        controller.on_retired(0, 10_000, 5_000)
+        controller.on_miss(0, 0.0, latency=40.0)
+        controller.on_boundary(250_000.0)
+        assert controller.measured_latencies is None
+        assert controller.estimates[0].miss_lat is None

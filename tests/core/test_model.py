@@ -1,0 +1,201 @@
+"""Tests for the analytical SOE model (paper Section 2, Eqs. 1-10)."""
+
+import math
+
+import pytest
+
+from repro.core.model import SoeModel, ThreadParams, compute_ipsw, single_thread_ipc
+from repro.errors import ConfigurationError
+
+
+def example2_model() -> SoeModel:
+    """The paper's Example 2 configuration."""
+    return SoeModel(
+        [ThreadParams(2.5, 15_000), ThreadParams(2.5, 1_000)],
+        miss_lat=300,
+        switch_lat=25,
+    )
+
+
+class TestThreadParams:
+    def test_cpm_is_ipm_over_ipc(self):
+        t = ThreadParams(ipc_no_miss=2.5, ipm=15_000)
+        assert t.cpm == pytest.approx(6_000)
+
+    def test_single_thread_ipc_matches_eq1(self):
+        t = ThreadParams(2.5, 15_000)
+        # 15000 / (6000 + 300)
+        assert t.single_thread_ipc(300) == pytest.approx(2.381, abs=1e-3)
+
+    def test_zero_miss_latency_recovers_ipc_no_miss(self):
+        t = ThreadParams(1.7, 4_200)
+        assert t.single_thread_ipc(0.0) == pytest.approx(1.7)
+
+    @pytest.mark.parametrize("ipc,ipm", [(0, 100), (-1, 100), (2, 0), (2, -5)])
+    def test_rejects_non_positive_parameters(self, ipc, ipm):
+        with pytest.raises(ConfigurationError):
+            ThreadParams(ipc, ipm)
+
+    def test_rejects_infinite_ipm(self):
+        with pytest.raises(ConfigurationError):
+            ThreadParams(2.0, math.inf)
+
+
+class TestSingleThreadIpcFunction:
+    def test_matches_thread_params(self):
+        t = ThreadParams(2.0, 1_000)
+        assert single_thread_ipc(t.ipm, t.cpm, 300) == pytest.approx(
+            t.single_thread_ipc(300)
+        )
+
+    def test_rejects_degenerate_denominator(self):
+        with pytest.raises(ConfigurationError):
+            single_thread_ipc(100, 0, 0)
+
+
+class TestComputeIpsw:
+    def test_f_zero_disables_forced_switches(self):
+        assert compute_ipsw(1_000, 1.4, 400, 300, 0.0) == math.inf
+
+    def test_f_one_matches_example2_thread1(self):
+        # Paper: thread 1 is forced to switch every 1,667 instructions.
+        ipc_st = 15_000 / 6_300
+        quota = compute_ipsw(15_000, ipc_st, 400, 300, 1.0)
+        assert quota == pytest.approx(1_666.7, abs=0.5)
+
+    def test_quota_never_exceeds_ipm(self):
+        # Thread 2's quota is capped by its IPM (it misses first anyway).
+        ipc_st = 1_000 / 700
+        quota = compute_ipsw(1_000, ipc_st, 400, 300, 1.0)
+        assert quota == pytest.approx(1_000)
+
+    def test_lower_f_gives_larger_quota(self):
+        ipc_st = 15_000 / 6_300
+        q_half = compute_ipsw(15_000, ipc_st, 400, 300, 0.5)
+        q_one = compute_ipsw(15_000, ipc_st, 400, 300, 1.0)
+        assert q_half == pytest.approx(2 * q_one)
+
+    def test_rejects_out_of_range_target(self):
+        with pytest.raises(ConfigurationError):
+            compute_ipsw(1_000, 1.0, 400, 300, 1.5)
+        with pytest.raises(ConfigurationError):
+            compute_ipsw(1_000, 1.0, 400, 300, -0.1)
+
+
+class TestSoeModelExample2:
+    """Table 2 of the paper, reproduced from the closed-form model."""
+
+    def test_single_thread_ipcs(self):
+        model = example2_model()
+        st = model.single_thread_ipcs()
+        assert st[0] == pytest.approx(2.381, abs=1e-3)
+        assert st[1] == pytest.approx(1.429, abs=1e-3)
+
+    def test_unenforced_soe_ipcs(self):
+        model = example2_model()
+        soe = model.soe_ipcs(0.0)
+        # Round = 6000 + 400 + 2*25 cycles.
+        assert soe[0] == pytest.approx(15_000 / 6_450, abs=1e-6)
+        assert soe[1] == pytest.approx(1_000 / 6_450, abs=1e-6)
+
+    def test_unenforced_slowdowns_match_paper(self):
+        # Paper: thread 1's IPC drops by 1.02x, thread 2's by 9.2x.
+        model = example2_model()
+        st = model.single_thread_ipcs()
+        soe = model.soe_ipcs(0.0)
+        assert st[0] / soe[0] == pytest.approx(1.02, abs=0.01)
+        assert st[1] / soe[1] == pytest.approx(9.2, abs=0.1)
+
+    def test_unenforced_fairness_is_0_11(self):
+        assert example2_model().fairness(0.0) == pytest.approx(0.111, abs=1e-3)
+
+    def test_enforced_f1_is_perfectly_fair(self):
+        assert example2_model().fairness(1.0) == pytest.approx(1.0)
+
+    def test_f1_speedups_match_paper_0_63(self):
+        # Paper Section 6: both speedups adjust to 0.63 (1/1.59).
+        speedups = example2_model().speedups(1.0)
+        for s in speedups:
+            assert s == pytest.approx(0.63, abs=0.005)
+
+    def test_f_half_bounds_speedup_ratio_by_two(self):
+        speedups = example2_model().speedups(0.5)
+        assert max(speedups) / min(speedups) == pytest.approx(2.0, rel=1e-6)
+
+    def test_quotas_at_f1(self):
+        quotas = example2_model().quotas(1.0)
+        assert quotas[0] == pytest.approx(1_666.7, abs=0.5)
+        assert quotas[1] == pytest.approx(1_000.0)
+
+
+class TestSoeModelProperties:
+    def test_fairness_monotone_in_target(self):
+        model = SoeModel([ThreadParams(2.0, 20_000), ThreadParams(2.2, 800)])
+        values = [model.fairness(f) for f in (0.0, 0.25, 0.5, 1.0)]
+        assert values == sorted(values)
+
+    def test_enforced_fairness_at_least_target(self):
+        model = SoeModel([ThreadParams(1.8, 12_000), ThreadParams(2.5, 600)])
+        for target in (0.25, 0.5, 0.75, 1.0):
+            assert model.fairness(target) >= target - 1e-9
+
+    def test_eq5_closed_form_for_unenforced_fairness(self):
+        # Eq. 5: fairness = min (CPM_j + L) / (CPM_k + L).
+        a, b = ThreadParams(2.0, 10_000), ThreadParams(2.0, 1_000)
+        model = SoeModel([a, b], miss_lat=300, switch_lat=25)
+        expected = (b.cpm + 300) / (a.cpm + 300)
+        assert model.fairness(0.0) == pytest.approx(expected)
+
+    def test_identical_threads_are_always_fair(self):
+        model = SoeModel([ThreadParams(2.5, 5_000)] * 2)
+        for target in (0.0, 0.5, 1.0):
+            assert model.fairness(target) == pytest.approx(1.0)
+
+    def test_identical_threads_lose_no_throughput(self):
+        model = SoeModel([ThreadParams(2.5, 5_000)] * 2)
+        assert model.throughput_change(1.0) == pytest.approx(0.0, abs=1e-9)
+
+    def test_enforcement_can_improve_throughput(self):
+        # Figure 3's IPC_no_miss = [2, 3] observation: when the
+        # faster-retiring thread is also the missy one, biasing towards
+        # it improves throughput.
+        model = SoeModel(
+            [ThreadParams(2.0, 10_000), ThreadParams(3.0, 1_000)],
+            miss_lat=300,
+            switch_lat=25,
+        )
+        assert model.throughput_change(1.0) > 0
+
+    def test_enforcement_usually_costs_throughput(self):
+        model = SoeModel(
+            [ThreadParams(2.5, 15_000), ThreadParams(2.5, 1_000)],
+            miss_lat=300,
+            switch_lat=25,
+        )
+        assert model.throughput_change(1.0) < 0
+
+    def test_throughput_is_sum_of_per_thread_ipcs(self):
+        model = example2_model()
+        for f in (0.0, 0.5, 1.0):
+            assert model.throughput(f) == pytest.approx(sum(model.soe_ipcs(f)))
+
+    def test_three_thread_model(self):
+        model = SoeModel(
+            [ThreadParams(2.5, 9_000), ThreadParams(2.0, 3_000), ThreadParams(1.5, 600)]
+        )
+        assert model.fairness(1.0) == pytest.approx(1.0, abs=1e-9)
+        assert len(model.soe_ipcs(0.5)) == 3
+
+    def test_speedup_over_single_thread_positive_for_missy_pairs(self):
+        model = SoeModel([ThreadParams(2.0, 800), ThreadParams(2.0, 700)])
+        assert model.soe_speedup_over_single_thread(0.0) > 1.0
+
+    def test_needs_two_threads(self):
+        with pytest.raises(ConfigurationError):
+            SoeModel([ThreadParams(2.0, 1_000)])
+
+    def test_rejects_negative_latencies(self):
+        with pytest.raises(ConfigurationError):
+            SoeModel([ThreadParams(2, 100)] * 2, miss_lat=-1)
+        with pytest.raises(ConfigurationError):
+            SoeModel([ThreadParams(2, 100)] * 2, switch_lat=-1)

@@ -1,0 +1,97 @@
+"""Edge-case tests for the analytical model's less-travelled paths."""
+
+import math
+
+import pytest
+
+from repro.core.model import SoeModel, ThreadParams
+from repro.errors import ConfigurationError
+
+
+class TestDegenerateConfigurations:
+    def test_zero_switch_latency(self):
+        model = SoeModel(
+            [ThreadParams(2.5, 15_000), ThreadParams(2.5, 1_000)],
+            miss_lat=300,
+            switch_lat=0,
+        )
+        # With free switches, F=1 enforcement on same-IPC threads is
+        # free in the equal-IPC_no_miss case... but still biases cycles,
+        # so throughput change is the reallocation term only.
+        assert model.fairness(1.0) == pytest.approx(1.0)
+        assert abs(model.throughput_change(1.0)) < 0.05
+
+    def test_zero_miss_latency(self):
+        model = SoeModel(
+            [ThreadParams(2.0, 5_000), ThreadParams(2.0, 500)],
+            miss_lat=0,
+            switch_lat=25,
+        )
+        # No stall to hide: SOE only adds overhead, so the combined
+        # throughput sits below the mean single-thread IPC.
+        assert model.soe_speedup_over_single_thread(0.0) < 1.0
+
+    def test_extreme_ipm_ratio(self):
+        model = SoeModel(
+            [ThreadParams(2.5, 1_000_000), ThreadParams(2.5, 100)],
+            miss_lat=300,
+            switch_lat=25,
+        )
+        assert model.fairness(0.0) < 0.01
+        assert model.fairness(1.0) == pytest.approx(1.0)
+
+    def test_many_threads(self):
+        threads = [ThreadParams(2.0, 1_000 * (i + 1)) for i in range(8)]
+        model = SoeModel(threads, miss_lat=300, switch_lat=25)
+        assert len(model.soe_ipcs(0.5)) == 8
+        assert model.fairness(1.0) == pytest.approx(1.0)
+
+    def test_quota_of_min_cpm_thread_is_its_ipm_at_f1(self):
+        threads = [ThreadParams(2.5, 15_000), ThreadParams(2.5, 1_000)]
+        model = SoeModel(threads, miss_lat=300, switch_lat=25)
+        quotas = model.quotas(1.0)
+        # The fastest-missing thread is maximally permissive at F=1.
+        assert quotas[1] == pytest.approx(1_000)
+
+    def test_fairness_target_zero_returns_infinite_quotas(self):
+        model = SoeModel([ThreadParams(2.0, 5_000)] * 2)
+        assert model.quotas(0.0) == [math.inf, math.inf]
+
+    def test_throughput_change_continuous_at_small_f(self):
+        model = SoeModel(
+            [ThreadParams(2.5, 15_000), ThreadParams(2.5, 1_000)]
+        )
+        # For small F the quota exceeds IPM everywhere: no change.
+        assert model.throughput_change(0.01) == pytest.approx(0.0, abs=1e-9)
+
+    def test_rejects_bad_target(self):
+        model = SoeModel([ThreadParams(2.0, 5_000)] * 2)
+        with pytest.raises(ConfigurationError):
+            model.quotas(1.5)
+
+
+class TestRoundStructure:
+    def test_round_time_consistency(self):
+        """Eq. 6/10 consistency: per-thread IPCs and the total must use
+        the same round denominator."""
+        model = SoeModel(
+            [ThreadParams(2.0, 8_000), ThreadParams(3.0, 1_200)],
+            miss_lat=300,
+            switch_lat=25,
+        )
+        for target in (0.0, 0.3, 0.7, 1.0):
+            ipcs = model.soe_ipcs(target)
+            quotas = [
+                min(q, t.ipm)
+                for q, t in zip(model.quotas(target), model.threads)
+            ]
+            # IPC ratios equal quota ratios (shared denominator).
+            assert ipcs[0] / ipcs[1] == pytest.approx(quotas[0] / quotas[1])
+
+    def test_speedups_scale_with_quotas(self):
+        model = SoeModel(
+            [ThreadParams(2.0, 8_000), ThreadParams(3.0, 1_200)],
+            miss_lat=300,
+        )
+        speedups = model.speedups(1.0)
+        assert speedups[0] == pytest.approx(speedups[1])

@@ -1,0 +1,70 @@
+"""Tests for the switch-policy baselines."""
+
+import math
+
+import pytest
+
+from repro.core.policy import NoFairnessPolicy, TimeSharingPolicy
+from repro.errors import ConfigurationError
+
+
+class TestNoFairnessPolicy:
+    def test_budgets_are_infinite(self):
+        policy = NoFairnessPolicy()
+        policy.on_run_start(0, 0.0)
+        assert policy.instruction_budget(0) == math.inf
+        assert policy.cycle_budget(0) == math.inf
+
+    def test_no_boundaries(self):
+        assert NoFairnessPolicy().next_boundary(123.0) == math.inf
+
+    def test_callbacks_are_no_ops(self):
+        policy = NoFairnessPolicy()
+        policy.on_retired(0, 100, 50)
+        policy.on_miss(0, 1.0)
+        policy.on_switch_out(0, "miss", 2.0)
+        policy.on_boundary(3.0)
+
+
+class TestTimeSharingPolicy:
+    def test_cycle_budget_equals_quota_at_dispatch(self):
+        policy = TimeSharingPolicy(400)
+        policy.on_run_start(0, 0.0)
+        assert policy.cycle_budget(0) == pytest.approx(400)
+
+    def test_budget_shrinks_as_cycles_pass(self):
+        policy = TimeSharingPolicy(400)
+        policy.on_run_start(0, 0.0)
+        policy.on_retired(0, 250, 100)
+        assert policy.cycle_budget(0) == pytest.approx(300)
+
+    def test_budget_resets_each_dispatch(self):
+        policy = TimeSharingPolicy(400)
+        policy.on_run_start(0, 0.0)
+        policy.on_retired(0, 1_000, 400)
+        assert policy.cycle_budget(0) == pytest.approx(0)
+        policy.on_run_start(0, 1_000.0)
+        assert policy.cycle_budget(0) == pytest.approx(400)
+
+    def test_budget_never_negative(self):
+        policy = TimeSharingPolicy(100)
+        policy.on_run_start(0, 0.0)
+        policy.on_retired(0, 500, 150)
+        assert policy.cycle_budget(0) == 0.0
+
+    def test_threads_tracked_independently(self):
+        policy = TimeSharingPolicy(400)
+        policy.on_run_start(0, 0.0)
+        policy.on_retired(0, 100, 100)
+        policy.on_run_start(1, 100.0)
+        assert policy.cycle_budget(1) == pytest.approx(400)
+        assert policy.cycle_budget(0) == pytest.approx(300)
+
+    def test_instruction_budget_is_unbounded(self):
+        assert TimeSharingPolicy(400).instruction_budget(0) == math.inf
+
+    def test_rejects_non_positive_quota(self):
+        with pytest.raises(ConfigurationError):
+            TimeSharingPolicy(0)
+        with pytest.raises(ConfigurationError):
+            TimeSharingPolicy(-5)

@@ -1,0 +1,100 @@
+"""Tests for weighted (prioritized) fairness enforcement."""
+
+import math
+
+import pytest
+
+from repro.core.estimator import ThreadEstimate
+from repro.core.fairness import weighted_fairness
+from repro.core.quota import quotas_from_estimates
+from repro.errors import ConfigurationError
+
+
+def estimate(ipm, cpm, miss_lat=300.0):
+    return ThreadEstimate(ipm=ipm, cpm=cpm, ipc_st=ipm / (cpm + miss_lat))
+
+
+EXAMPLE2 = [estimate(15_000, 6_000), estimate(1_000, 400)]
+
+
+class TestWeightedFairnessMetric:
+    def test_equal_weights_recover_base_metric(self):
+        assert weighted_fairness([0.6, 0.3], [1.0, 1.0]) == pytest.approx(0.5)
+
+    def test_weights_normalize_entitlement(self):
+        # Thread 0 entitled to 2x: speedups 0.6 vs 0.3 are perfectly fair.
+        assert weighted_fairness([0.6, 0.3], [2.0, 1.0]) == pytest.approx(1.0)
+
+    def test_scale_invariant_in_weights(self):
+        a = weighted_fairness([0.6, 0.3], [2.0, 1.0])
+        b = weighted_fairness([0.6, 0.3], [4.0, 2.0])
+        assert a == pytest.approx(b)
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            weighted_fairness([0.5, 0.5], [1.0])
+        with pytest.raises(ConfigurationError):
+            weighted_fairness([0.5, 0.5], [1.0, 0.0])
+
+
+class TestWeightedQuotas:
+    def test_equal_weights_match_unweighted(self):
+        unweighted = quotas_from_estimates(EXAMPLE2, 1.0, 300)
+        weighted = quotas_from_estimates(EXAMPLE2, 1.0, 300, weights=[1.0, 1.0])
+        assert weighted == pytest.approx(unweighted)
+
+    def test_upweighting_the_unconstrained_thread(self):
+        # Weight 2 on thread 0 doubles its quota relative to the base.
+        base = quotas_from_estimates(EXAMPLE2, 1.0, 300)
+        weighted = quotas_from_estimates(EXAMPLE2, 1.0, 300, weights=[2.0, 1.0])
+        assert weighted[0] == pytest.approx(2 * base[0])
+        assert weighted[1] == pytest.approx(base[1])
+
+    def test_upweighting_the_ipm_constrained_thread_shrinks_others(self):
+        # Thread 1 is pinned at its IPM; giving it weight 2 cannot raise
+        # its own quota, so thread 0's must halve to hit the 1:2 ratio.
+        base = quotas_from_estimates(EXAMPLE2, 1.0, 300)
+        weighted = quotas_from_estimates(EXAMPLE2, 1.0, 300, weights=[1.0, 2.0])
+        assert weighted[1] == pytest.approx(base[1])  # still at IPM
+        assert weighted[0] == pytest.approx(base[0] / 2)
+
+    def test_quota_ratio_tracks_weight_ratio(self):
+        for weights in ([3.0, 1.0], [1.0, 1.5]):
+            quotas = quotas_from_estimates(EXAMPLE2, 1.0, 300, weights=weights)
+            # quota_j / (w_j * ipc_st_j) must be a common constant
+            # wherever the IPM cap is not binding.
+            constants = [
+                q / (w * e.ipc_st)
+                for q, w, e in zip(quotas, weights, EXAMPLE2)
+                if q < e.ipm - 1e-9
+            ]
+            for constant in constants:
+                assert constant == pytest.approx(constants[0])
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ConfigurationError):
+            quotas_from_estimates(EXAMPLE2, 1.0, 300, weights=[1.0])
+        with pytest.raises(ConfigurationError):
+            quotas_from_estimates(EXAMPLE2, 1.0, 300, weights=[1.0, -1.0])
+
+
+class TestPerThreadLatencyQuotas:
+    def test_uniform_override_matches_constant(self):
+        with_lat = [
+            ThreadEstimate(15_000, 6_000, 15_000 / 6_300, miss_lat=300.0),
+            ThreadEstimate(1_000, 400, 1_000 / 700, miss_lat=300.0),
+        ]
+        assert quotas_from_estimates(with_lat, 1.0, 999) == pytest.approx(
+            quotas_from_estimates(EXAMPLE2, 1.0, 300)
+        )
+
+    def test_short_latency_thread_changes_scale(self):
+        # Thread 1's events stall only 40 cycles: its combined
+        # CPM + latency (440) becomes the scale.
+        short = [
+            ThreadEstimate(15_000, 6_000, 15_000 / 6_300, miss_lat=300.0),
+            ThreadEstimate(1_000, 400, 1_000 / 440, miss_lat=40.0),
+        ]
+        quotas = quotas_from_estimates(short, 1.0, 300)
+        assert quotas[1] == pytest.approx(1_000)  # pinned at IPM
+        assert quotas[0] == pytest.approx((15_000 / 6_300) * 440)

@@ -1,0 +1,74 @@
+"""Tests for the branch predictor."""
+
+import pytest
+
+from repro.cpu.branch import BranchPredictor
+from repro.cpu.isa import MicroOp, OpClass
+from repro.errors import ConfigurationError
+
+
+def branch(pc, taken, target=0x40):
+    return MicroOp(OpClass.BRANCH, pc=pc, taken=taken, target=target)
+
+
+class TestBranchPredictor:
+    def test_learns_always_taken(self):
+        predictor = BranchPredictor()
+        for _ in range(4):
+            predictor.predict_and_update(branch(0x10, True))
+        predictor.reset_statistics()
+        for _ in range(50):
+            predictor.predict_and_update(branch(0x10, True))
+        assert predictor.misprediction_rate == 0.0
+
+    def test_learns_always_not_taken(self):
+        predictor = BranchPredictor()
+        for _ in range(4):
+            predictor.predict_and_update(branch(0x10, False))
+        predictor.reset_statistics()
+        for _ in range(50):
+            predictor.predict_and_update(branch(0x10, False))
+        assert predictor.misprediction_rate == 0.0
+
+    def test_btb_target_mismatch_counts_as_mispredict(self):
+        predictor = BranchPredictor()
+        for _ in range(4):
+            predictor.predict_and_update(branch(0x10, True, target=0x40))
+        predictor.reset_statistics()
+        # The branch suddenly jumps elsewhere: direction right, target
+        # wrong.
+        assert not predictor.predict_and_update(branch(0x10, True, target=0x80))
+
+    def test_cold_taken_branch_is_a_btb_miss(self):
+        predictor = BranchPredictor()
+        assert not predictor.predict_and_update(branch(0x10, True))
+
+    def test_random_branches_mispredict_roughly_half(self):
+        import random
+
+        rng = random.Random(5)
+        predictor = BranchPredictor()
+        for _ in range(2_000):
+            predictor.predict_and_update(branch(0x10, rng.random() < 0.5, 0x40))
+        assert 0.3 < predictor.misprediction_rate < 0.7
+
+    def test_alternating_pattern_learned_via_history(self):
+        # T/NT alternation is perfectly predictable with global history.
+        predictor = BranchPredictor()
+        outcomes = [True, False] * 200
+        for taken in outcomes[:100]:
+            predictor.predict_and_update(branch(0x10, taken))
+        predictor.reset_statistics()
+        for taken in outcomes[100:]:
+            predictor.predict_and_update(branch(0x10, taken))
+        assert predictor.misprediction_rate < 0.1
+
+    def test_rejects_non_branch(self):
+        with pytest.raises(ConfigurationError):
+            BranchPredictor().predict_and_update(MicroOp(OpClass.ALU, pc=0))
+
+    def test_rejects_bad_sizes(self):
+        with pytest.raises(ConfigurationError):
+            BranchPredictor(history_bits=0)
+        with pytest.raises(ConfigurationError):
+            BranchPredictor(table_entries=1000)  # not a power of two

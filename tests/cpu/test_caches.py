@@ -1,0 +1,99 @@
+"""Tests for the set-associative LRU cache."""
+
+import pytest
+
+from repro.cpu.caches import Cache
+from repro.cpu.machine import CacheConfig
+from repro.errors import ConfigurationError
+
+
+def small_cache(size=1024, assoc=2, line=64, latency=1):
+    return Cache(CacheConfig(size, assoc, line, latency))
+
+
+class TestCacheGeometry:
+    def test_num_sets(self):
+        assert CacheConfig(1024, 2, 64, 1).num_sets == 8
+
+    def test_rejects_non_integral_sets(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(1000, 2, 64, 1)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(0, 2, 64, 1)
+
+
+class TestCache:
+    def test_cold_miss_then_hit(self):
+        cache = small_cache()
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.hits == 1 and cache.misses == 1
+
+    def test_same_line_different_offsets_hit(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert cache.access(0x1020)  # same 64B line
+
+    def test_adjacent_lines_are_distinct(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        assert not cache.access(0x1040)
+
+    def test_lru_eviction(self):
+        cache = small_cache(assoc=2)  # 8 sets
+        set_stride = 8 * 64  # addresses mapping to the same set
+        a, b, c = 0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(c)  # evicts a (LRU)
+        assert not cache.contains(a)
+        assert cache.contains(b) and cache.contains(c)
+
+    def test_access_refreshes_lru(self):
+        cache = small_cache(assoc=2)
+        set_stride = 8 * 64
+        a, b, c = 0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)  # a becomes MRU
+        cache.access(c)  # evicts b
+        assert cache.contains(a)
+        assert not cache.contains(b)
+
+    def test_contains_does_not_disturb_lru(self):
+        cache = small_cache(assoc=2)
+        set_stride = 8 * 64
+        a, b, c = 0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.contains(a)  # must NOT refresh a
+        cache.access(c)  # evicts a (still LRU)
+        assert not cache.contains(a)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        cache.access(64)
+        assert cache.miss_rate == pytest.approx(2 / 3)
+
+    def test_reset_statistics_keeps_contents(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.reset_statistics()
+        assert cache.misses == 0
+        assert cache.access(0)  # still resident
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        cache = small_cache(size=1024, assoc=2, line=64)  # 16 lines
+        addresses = [i * 64 for i in range(64)]
+        for _ in range(3):
+            for address in addresses:
+                cache.access(address)
+        assert cache.miss_rate > 0.9
+
+    def test_negative_address_rejected(self):
+        with pytest.raises(ConfigurationError):
+            small_cache().access(-1)

@@ -1,0 +1,88 @@
+"""Tests for the composed memory hierarchy."""
+
+import pytest
+
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.cpu.machine import MachineConfig
+
+
+@pytest.fixture()
+def hierarchy():
+    return MemoryHierarchy(MachineConfig())
+
+
+class TestDataPath:
+    def test_l1_hit_latency(self, hierarchy):
+        hierarchy.data_access(0x1000, 0)  # warm the line (and the TLB)
+        # Probe after the fill completes (a probe during the fill would
+        # correctly merge into the outstanding miss instead).
+        result = hierarchy.data_access(0x1000, 1_000)
+        assert result.level == "l1"
+        assert result.ready_at == 1_000 + 3
+        assert not result.l2_miss and not result.tlb_walk
+
+    def test_cold_access_goes_to_memory(self, hierarchy):
+        result = hierarchy.data_access(0x100000, 0)
+        assert result.level == "memory"
+        assert result.l2_miss
+        # page walk + L1 + L2 lookups + memory latency
+        assert result.ready_at >= 300
+
+    def test_tlb_walk_charged_once_per_page(self, hierarchy):
+        first = hierarchy.data_access(0x2000, 0)
+        assert first.tlb_walk
+        second = hierarchy.data_access(0x2040, 10_000)
+        assert not second.tlb_walk
+
+    def test_l2_hit_after_l1_eviction(self, hierarchy):
+        config = hierarchy.config
+        base = 0x400000
+        hierarchy.data_access(base, 0)
+        # Thrash the L1 set containing `base` with same-set lines; they
+        # stay resident in the much larger L2.
+        l1_set_stride = config.l1d.num_sets * config.l1d.line_bytes
+        for i in range(1, config.l1d.associativity + 2):
+            hierarchy.data_access(base + i * l1_set_stride, 1000 + i)
+        result = hierarchy.data_access(base, 10_000)
+        assert result.level == "l2"
+        assert not result.l2_miss
+
+    def test_outstanding_fill_merges(self, hierarchy):
+        first = hierarchy.data_access(0x800000, 0)
+        # A second access to the same line while the fill is in flight
+        # merges instead of paying another memory round trip.
+        second = hierarchy.data_access(0x800010, 5)
+        assert second.merged
+        assert second.ready_at <= first.ready_at
+        assert hierarchy.bus.transfers == 1
+
+    def test_distinct_lines_serialize_on_the_bus(self, hierarchy):
+        a = hierarchy.data_access(0x800000, 0)
+        b = hierarchy.data_access(0x900000, 0)
+        assert b.ready_at > a.ready_at
+        assert hierarchy.bus.transfers == 2
+
+
+class TestFetchPath:
+    def test_instruction_fetch_uses_l1i(self, hierarchy):
+        hierarchy.fetch_access(0x100, 0)
+        result = hierarchy.fetch_access(0x104, 1_000)
+        assert result.level == "l1"
+        assert hierarchy.l1i.accesses == 2
+        assert hierarchy.l1d.accesses == 0
+
+    def test_fetch_and_data_tlbs_are_separate(self, hierarchy):
+        hierarchy.fetch_access(0x100, 0)
+        result = hierarchy.data_access(0x100, 10)
+        assert result.tlb_walk  # dTLB cold even though iTLB warm
+
+
+class TestStatistics:
+    def test_reset_statistics(self, hierarchy):
+        hierarchy.data_access(0x1000, 0)
+        hierarchy.fetch_access(0x100, 0)
+        hierarchy.reset_statistics()
+        assert hierarchy.l1d.accesses == 0
+        assert hierarchy.l1i.accesses == 0
+        assert hierarchy.l2.accesses == 0
+        assert hierarchy.dtlb.accesses == 0

@@ -1,0 +1,45 @@
+"""Tests for the micro-op model."""
+
+import pytest
+
+from repro.cpu.isa import NUM_ARCH_REGS, MicroOp, OpClass
+from repro.errors import ConfigurationError
+
+
+class TestMicroOp:
+    def test_alu_op(self):
+        uop = MicroOp(OpClass.ALU, pc=0x100, dest=1, srcs=(2, 3))
+        assert not uop.is_memory
+        assert uop.dest == 1
+
+    def test_load_requires_address(self):
+        with pytest.raises(ConfigurationError):
+            MicroOp(OpClass.LOAD, pc=0, dest=1)
+
+    def test_store_requires_address(self):
+        with pytest.raises(ConfigurationError):
+            MicroOp(OpClass.STORE, pc=0, srcs=(1,))
+
+    def test_branch_requires_target(self):
+        with pytest.raises(ConfigurationError):
+            MicroOp(OpClass.BRANCH, pc=0, taken=True)
+
+    def test_memory_classification(self):
+        load = MicroOp(OpClass.LOAD, pc=0, address=64)
+        store = MicroOp(OpClass.STORE, pc=0, address=64)
+        assert load.is_memory and store.is_memory
+
+    def test_register_bounds(self):
+        with pytest.raises(ConfigurationError):
+            MicroOp(OpClass.ALU, pc=0, dest=NUM_ARCH_REGS)
+        with pytest.raises(ConfigurationError):
+            MicroOp(OpClass.ALU, pc=0, srcs=(NUM_ARCH_REGS,))
+
+    def test_negative_pc_rejected(self):
+        with pytest.raises(ConfigurationError):
+            MicroOp(OpClass.ALU, pc=-4)
+
+    def test_immutable(self):
+        uop = MicroOp(OpClass.ALU, pc=0)
+        with pytest.raises(AttributeError):
+            uop.pc = 4

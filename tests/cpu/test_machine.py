@@ -1,0 +1,49 @@
+"""Tests for the machine configuration."""
+
+import pytest
+
+from repro.cpu.machine import CacheConfig, MachineConfig
+from repro.errors import ConfigurationError
+
+
+class TestMachineConfig:
+    def test_paper_defaults(self):
+        config = MachineConfig()
+        assert config.memory_latency == 300
+        assert config.drain_latency == 6
+        assert config.max_cycles_quota == 50_000
+        assert config.l2.size_bytes == 2 * 1024 * 1024
+        assert config.switch_event == "l2"
+        assert config.memory_model == "fixed"
+        assert config.prefetch == "none"
+
+    def test_fetch_queue_covers_frontend_pipe(self):
+        config = MachineConfig()
+        assert config.fetch_queue_entries >= (
+            config.fetch_width * config.frontend_latency
+        )
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"fetch_width": 0},
+            {"rob_entries": 0},
+            {"memory_latency": -1},
+            {"page_bytes": 1000},
+            {"switch_event": "l3"},
+            {"memory_model": "hbm"},
+            {"prefetch": "stride"},
+        ],
+    )
+    def test_rejects_bad_values(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(**kwargs)
+
+    def test_cache_geometry_validated(self):
+        with pytest.raises(ConfigurationError):
+            MachineConfig(l1d=CacheConfig(1000, 8, 64, 3))
+
+    def test_immutable(self):
+        config = MachineConfig()
+        with pytest.raises(AttributeError):
+            config.rob_entries = 128

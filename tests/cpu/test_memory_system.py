@@ -1,0 +1,186 @@
+"""Tests for the memory-system extensions: write-back caches, the
+next-line prefetcher, and the banked DRAM model."""
+
+import pytest
+
+from repro.cpu.caches import Cache
+from repro.cpu.dram import BankedDram
+from repro.cpu.hierarchy import MemoryHierarchy
+from repro.cpu.machine import CacheConfig, MachineConfig
+from repro.errors import ConfigurationError
+
+
+def small_cache(assoc=2):
+    return Cache(CacheConfig(1024, assoc, 64, 1))
+
+
+class TestWriteBackState:
+    def test_store_marks_line_dirty_and_eviction_reports_it(self):
+        cache = small_cache(assoc=2)
+        set_stride = 8 * 64
+        cache.access(0, is_write=True)
+        cache.access(set_stride)
+        cache.access(2 * set_stride)  # evicts the dirty line at 0
+        assert cache.last_eviction_was_dirty
+        assert cache.writebacks == 1
+        assert cache.last_victim_line == 0
+
+    def test_clean_eviction_not_reported(self):
+        cache = small_cache(assoc=2)
+        set_stride = 8 * 64
+        cache.access(0)
+        cache.access(set_stride)
+        cache.access(2 * set_stride)
+        assert not cache.last_eviction_was_dirty
+        assert cache.writebacks == 0
+
+    def test_write_hit_dirties_resident_line(self):
+        cache = small_cache(assoc=2)
+        set_stride = 8 * 64
+        cache.access(0)                      # clean fill
+        cache.access(0, is_write=True)       # dirtied by a later store
+        cache.access(set_stride)
+        cache.access(2 * set_stride)         # evicts line 0
+        assert cache.last_eviction_was_dirty
+
+    def test_victim_line_reconstructs_address(self):
+        cache = small_cache(assoc=2)
+        set_stride = 8 * 64
+        base = 3 * 64  # set 3
+        cache.access(base, is_write=True)
+        cache.access(base + set_stride)
+        cache.access(base + 2 * set_stride)
+        assert cache.last_victim_line * 64 == base
+
+
+class TestHierarchyWritebacks:
+    def test_store_heavy_workload_generates_writebacks(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        # Dirty far more lines than the L1 holds.
+        for i in range(4_096):
+            hierarchy.store_access(0x100000 + i * 64, i * 10)
+        assert hierarchy.l1d.writebacks > 0
+
+    def test_l2_dirty_evictions_consume_bus(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        lines = (2 * 1024 * 1024) // 64  # L2 line capacity
+        for i in range(lines + 8_192):
+            hierarchy.store_access(0x100000 + i * 64, i * 400)
+        # Demand fills alone would be one transfer per access; dirty L2
+        # evictions add write-back transfers on top.
+        assert hierarchy.bus.transfers > hierarchy.memory.fills
+
+
+class TestNextLinePrefetcher:
+    def test_prefetch_disabled_by_default(self):
+        hierarchy = MemoryHierarchy(MachineConfig())
+        hierarchy.data_access(0x400000, 0)
+        assert hierarchy.prefetches == 0
+
+    def test_prefetch_fetches_next_line(self):
+        hierarchy = MemoryHierarchy(MachineConfig(prefetch="next_line"))
+        hierarchy.data_access(0x400000, 0)
+        assert hierarchy.prefetches == 1
+        # After the fills complete, the next line hits the L2.
+        result = hierarchy.data_access(0x400040, 5_000)
+        assert result.level == "l2"
+
+    def test_streaming_miss_rate_halves_with_prefetch(self):
+        def misses(config):
+            hierarchy = MemoryHierarchy(config)
+            demand_memory = 0
+            time = 0
+            for i in range(512):
+                time += 600  # well past each fill's completion
+                result = hierarchy.data_access(0x800000 + i * 64, time)
+                if result.level == "memory":
+                    demand_memory += 1
+            return demand_memory
+
+        base = misses(MachineConfig())
+        prefetched = misses(MachineConfig(prefetch="next_line"))
+        assert prefetched < base * 0.6
+
+    def test_prefetch_does_not_refetch_resident_lines(self):
+        hierarchy = MemoryHierarchy(MachineConfig(prefetch="next_line"))
+        hierarchy.data_access(0x400000, 0)
+        first = hierarchy.prefetches
+        hierarchy.data_access(0x400000, 10_000)  # L1 hit: no prefetch probe
+        assert hierarchy.prefetches == first
+
+
+class TestBankedDram:
+    def test_row_hit_is_faster_than_row_miss(self):
+        dram = BankedDram(base_latency=240, row_penalty=120, bank_occupancy=0)
+        first = dram.fill(0x0000, 0)
+        second = dram.fill(0x0040, first)  # same row
+        assert first == 360  # cold row miss
+        assert second - first == 240  # open-row hit
+
+    def test_row_conflict_pays_penalty(self):
+        dram = BankedDram(base_latency=240, row_penalty=120, num_banks=1,
+                          row_bytes=4096, bank_occupancy=0)
+        dram.fill(0, 0)
+        conflict = dram.fill(4096, 1_000)  # same bank, different row
+        assert conflict - 1_000 == 360
+
+    def test_banks_operate_in_parallel(self):
+        dram = BankedDram(num_banks=8, bank_occupancy=20, row_bytes=4096)
+        a = dram.fill(0 * 4096, 0)
+        b = dram.fill(1 * 4096, 0)  # different bank: no queueing
+        assert a == b
+
+    def test_same_bank_requests_queue(self):
+        dram = BankedDram(num_banks=8, bank_occupancy=20, row_bytes=4096)
+        a = dram.fill(0, 0)
+        b = dram.fill(64, 0)  # same bank: waits for occupancy
+        assert b > a - dram.base_latency + 0  # started later
+        assert b - a == 20 - 120  # hit (no penalty) but +occupancy delay
+
+    def test_row_hit_rate_statistic(self):
+        dram = BankedDram(row_bytes=4096, bank_occupancy=0)
+        for i in range(64):
+            dram.fill(i * 64, i * 1_000)  # sequential: mostly row hits
+        assert dram.row_hit_rate > 0.9
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            BankedDram(base_latency=-1)
+        with pytest.raises(ConfigurationError):
+            BankedDram(num_banks=0)
+
+
+class TestDramInPipeline:
+    def test_dram_machine_runs_and_varies_latency(self):
+        from repro.core.controller import FairnessController, FairnessParams
+        from repro.cpu.soe_core import run_cpu_soe
+        from repro.workloads.tracegen import CpuWorkloadSpec, make_trace
+
+        memory_spec = CpuWorkloadSpec(
+            name="dram-mem", ilp=6, ipm=400.0, load_fraction=0.3,
+            store_fraction=0.05, branch_fraction=0.08, branch_noise=0.02,
+            hot_bytes=4 * 1024, code_bytes=2 * 1024,
+        )
+        controller = FairnessController(
+            2,
+            FairnessParams(
+                fairness_target=0.5, sample_period=4_000.0,
+                measure_miss_latency=True,
+            ),
+        )
+        result = run_cpu_soe(
+            [
+                make_trace(memory_spec, seed=1, thread_index=0),
+                make_trace(memory_spec, seed=2, thread_index=1),
+            ],
+            controller,
+            config=MachineConfig(memory_model="dram"),
+            min_instructions=4_000,
+            warmup_instructions=2_000,
+        )
+        assert result.total_ipc > 0
+        latencies = controller.measured_latencies
+        assert latencies is not None
+        # Streaming loads mostly hit open rows: measured latency sits
+        # between the row-hit (240) and row-miss (360) costs.
+        assert 200 < latencies[0] < 450

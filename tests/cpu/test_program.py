@@ -1,0 +1,67 @@
+"""Tests for trace programs and flush-capable cursors."""
+
+import pytest
+
+from repro.cpu.isa import MicroOp, OpClass
+from repro.cpu.program import TraceProgram, program_from_uops
+from repro.errors import WorkloadError
+
+
+def alu(pc):
+    return MicroOp(OpClass.ALU, pc=pc)
+
+
+class TestTraceProgram:
+    def test_replayable(self):
+        program = program_from_uops([alu(0), alu(4), alu(8)])
+        assert [u.pc for u in program.uops()] == [0, 4, 8]
+        assert [u.pc for u in program.uops()] == [0, 4, 8]
+
+    def test_empty_rejected(self):
+        with pytest.raises(WorkloadError):
+            program_from_uops([])
+
+
+class TestProgramCursor:
+    def test_sequential_fetch(self):
+        cursor = program_from_uops([alu(0), alu(4)]).cursor()
+        assert cursor.fetch().pc == 0
+        assert cursor.fetch().pc == 4
+        assert cursor.fetch() is None
+
+    def test_exhausted_flag(self):
+        cursor = program_from_uops([alu(0)]).cursor()
+        assert not cursor.exhausted
+        cursor.fetch()
+        assert cursor.exhausted
+
+    def test_exhausted_peek_does_not_lose_uops(self):
+        cursor = program_from_uops([alu(0), alu(4)]).cursor()
+        assert not cursor.exhausted  # peeks by buffering
+        assert cursor.fetch().pc == 0
+        assert cursor.fetch().pc == 4
+
+    def test_push_back_refetches_in_order(self):
+        cursor = program_from_uops([alu(0), alu(4), alu(8)]).cursor()
+        a = cursor.fetch()
+        b = cursor.fetch()
+        cursor.push_back([a, b])
+        assert cursor.fetch().pc == 0
+        assert cursor.fetch().pc == 4
+        assert cursor.fetch().pc == 8
+
+    def test_push_back_clears_exhaustion(self):
+        cursor = program_from_uops([alu(0)]).cursor()
+        uop = cursor.fetch()
+        assert cursor.exhausted
+        cursor.push_back([uop])
+        assert not cursor.exhausted
+        assert cursor.fetch().pc == 0
+
+    def test_interleaved_pushback(self):
+        cursor = program_from_uops([alu(0), alu(4), alu(8)]).cursor()
+        a = cursor.fetch()
+        cursor.push_back([a])
+        b = cursor.fetch()
+        assert b.pc == 0
+        assert cursor.fetch().pc == 4

@@ -1,0 +1,139 @@
+"""Deeper semantic tests for the segment engine: warmup windows,
+boundary handling across idle/overhead time, and policy interplay."""
+
+import math
+
+import pytest
+
+from repro.core.controller import FairnessController, FairnessParams
+from repro.core.policy import SwitchPolicy
+from repro.engine.segments import Segment, stream_from_segments
+from repro.engine.soe import RunLimits, SoeEngine, SoeParams, run_soe
+from repro.workloads.synthetic import uniform_stream
+
+
+class BoundarySpy(SwitchPolicy):
+    """Records every boundary callback time."""
+
+    def __init__(self, period):
+        self.period = period
+        self.times = []
+        self._next = period
+
+    def next_boundary(self, now):
+        return self._next
+
+    def on_boundary(self, now):
+        self.times.append(now)
+        while self._next <= now:
+            self._next += self.period
+
+
+class TestBoundaryDelivery:
+    def test_boundaries_fire_during_idle(self):
+        # Two extremely missy threads idle a lot; boundaries must still
+        # arrive on schedule.
+        streams = [
+            uniform_stream(2.0, 50, seed=1),
+            uniform_stream(2.0, 50, seed=2),
+        ]
+        spy = BoundarySpy(1_000.0)
+        engine = SoeEngine(streams, spy, SoeParams())
+        engine.run(RunLimits(min_instructions=5_000))
+        assert len(spy.times) > 3
+        for expected, actual in zip(
+            range(1_000, 100_000, 1_000), spy.times
+        ):
+            assert actual == pytest.approx(float(expected), abs=1e-6)
+
+    def test_boundaries_fire_during_execution(self):
+        streams = [
+            uniform_stream(2.5, 100_000, seed=1),  # long segments
+            uniform_stream(2.5, 100_000, seed=2),
+        ]
+        spy = BoundarySpy(777.0)
+        engine = SoeEngine(streams, spy, SoeParams())
+        engine.run(RunLimits(min_instructions=100_000))
+        deltas = [b - a for a, b in zip(spy.times, spy.times[1:])]
+        for delta in deltas:
+            assert delta == pytest.approx(777.0, abs=1e-6)
+
+    def test_boundary_does_not_end_the_dispatch(self):
+        # A thread mid-segment at a boundary keeps running: no switch is
+        # recorded for boundary crossings.
+        streams = [
+            uniform_stream(2.5, 50_000, seed=1),
+            uniform_stream(2.5, 50_000, seed=2),
+        ]
+        spy = BoundarySpy(500.0)
+        engine = SoeEngine(streams, spy, SoeParams())
+        result = engine.run(RunLimits(min_instructions=60_000))
+        switches = result.total_switches
+        assert len(spy.times) > 10 * switches
+
+
+class TestWarmupSemantics:
+    def test_warmup_excludes_transient(self):
+        # A finite stream with a pathological prefix: warmup hides it.
+        slow_prefix = [Segment(1_000, 10_000)] * 5  # IPC 0.1
+        steady = [Segment(1_000, 400)] * 200        # IPC 2.5
+        make = lambda: stream_from_segments(slow_prefix + steady)
+        full = run_soe(
+            [make(), make()],
+            limits=RunLimits(min_instructions=1e9),
+        )
+        warmed = run_soe(
+            [make(), make()],
+            limits=RunLimits(min_instructions=1e9, warmup_instructions=30_000),
+        )
+        assert warmed.total_ipc > full.total_ipc
+
+    def test_controller_state_survives_warmup(self):
+        # The paper warms the fairness mechanism during the excluded
+        # prefix: quotas must already be finite when measurement starts.
+        streams = [
+            uniform_stream(2.5, 15_000, seed=1),
+            uniform_stream(2.5, 1_000, seed=2),
+        ]
+        controller = FairnessController(2, FairnessParams(fairness_target=1.0))
+        engine = SoeEngine(streams, controller, SoeParams())
+        engine.run(RunLimits(min_instructions=1_200_000,
+                             warmup_instructions=900_000))
+        assert all(math.isfinite(q) for q in controller.quotas)
+        assert len(controller.history) >= 2
+
+
+class TestSwitchReasonAccounting:
+    def test_reasons_are_mutually_exclusive_counts(self):
+        streams = [
+            uniform_stream(2.5, 15_000, seed=1),
+            uniform_stream(2.5, 1_000, seed=2),
+        ]
+        controller = FairnessController(2, FairnessParams(fairness_target=1.0))
+        result = run_soe(
+            streams, controller, SoeParams(),
+            RunLimits(min_instructions=1_000_000, warmup_instructions=600_000),
+        )
+        for stats in result.threads:
+            assert stats.switches == (
+                stats.miss_switches
+                + stats.forced_switches
+                + stats.cycle_quota_switches
+            )
+
+    def test_forced_switches_only_with_enforcement(self):
+        streams = [
+            uniform_stream(2.5, 15_000, seed=1),
+            uniform_stream(2.5, 1_000, seed=2),
+        ]
+        result = run_soe(streams, limits=RunLimits(min_instructions=300_000))
+        assert result.forced_switches == 0
+
+    def test_miss_switch_count_equals_miss_count(self):
+        streams = [
+            uniform_stream(2.5, 5_000, seed=1),
+            uniform_stream(2.5, 3_000, seed=2),
+        ]
+        result = run_soe(streams, limits=RunLimits(min_instructions=300_000))
+        for stats in result.threads:
+            assert stats.miss_switches == stats.misses

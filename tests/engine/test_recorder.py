@@ -1,0 +1,84 @@
+"""Tests for the interval recorder (Figure 5 support)."""
+
+import pytest
+
+from repro.core.controller import FairnessController, FairnessParams
+from repro.engine.recorder import IntervalRecorder
+from repro.engine.soe import RunLimits, SoeEngine, SoeParams
+from repro.errors import ConfigurationError
+from repro.workloads.synthetic import uniform_stream
+
+
+def run_with_recorder(interval=10_000.0, min_instructions=200_000):
+    streams = [
+        uniform_stream(2.5, 15_000, seed=1),
+        uniform_stream(2.5, 1_000, seed=2),
+    ]
+    recorder = IntervalRecorder(interval=interval)
+    engine = SoeEngine(
+        streams,
+        params=SoeParams(miss_lat=300, switch_lat=25),
+        recorder=recorder,
+    )
+    engine.run(RunLimits(min_instructions=min_instructions))
+    return recorder
+
+
+class TestIntervalRecorder:
+    def test_samples_are_evenly_spaced(self):
+        recorder = run_with_recorder(interval=10_000.0)
+        times = [s.time for s in recorder.samples]
+        assert len(times) > 5
+        deltas = [b - a for a, b in zip(times, times[1:])]
+        for delta in deltas:
+            assert delta == pytest.approx(10_000.0, abs=1.0)
+
+    def test_interval_ipcs_sum_to_throughput_shape(self):
+        recorder = run_with_recorder()
+        for sample in recorder.samples:
+            total = sum(sample.ipcs)
+            assert 0.0 <= total <= 3.0  # bounded by IPC_no_miss
+
+    def test_cumulative_retired_is_monotone(self):
+        recorder = run_with_recorder()
+        for tid in range(2):
+            series = [s.cumulative_retired[tid] for s in recorder.samples]
+            assert series == sorted(series)
+
+    def test_interval_deltas_match_cumulative_differences(self):
+        recorder = run_with_recorder()
+        samples = recorder.samples
+        for prev, cur in zip(samples, samples[1:]):
+            for tid in range(2):
+                expected = cur.cumulative_retired[tid] - prev.cumulative_retired[tid]
+                assert cur.retired[tid] == pytest.approx(expected, abs=1e-6)
+
+    def test_speedups_and_fairness_helpers(self):
+        recorder = run_with_recorder()
+        st = [2.38, 1.43]
+        sample = recorder.samples[-1]
+        speedups = sample.speedups(st)
+        assert len(speedups) == 2
+        assert 0.0 <= sample.achieved_fairness(st) <= 1.0
+
+    def test_works_alongside_controller_boundaries(self):
+        # Recorder interval deliberately different from Delta.
+        streams = [
+            uniform_stream(2.5, 15_000, seed=1),
+            uniform_stream(2.5, 1_000, seed=2),
+        ]
+        recorder = IntervalRecorder(interval=30_000.0)
+        controller = FairnessController(
+            2, FairnessParams(fairness_target=0.5, sample_period=50_000.0)
+        )
+        engine = SoeEngine(streams, controller, SoeParams(), recorder=recorder)
+        engine.run(RunLimits(min_instructions=150_000))
+        assert len(recorder.samples) > 0
+        assert len(controller.history) > 0
+        # Controller boundaries at multiples of its Delta.
+        for point in controller.history:
+            assert point.time % 50_000.0 == pytest.approx(0.0, abs=1.0)
+
+    def test_rejects_non_positive_interval(self):
+        with pytest.raises(ConfigurationError):
+            IntervalRecorder(interval=0)

@@ -1,0 +1,48 @@
+"""Tests for segment abstractions."""
+
+import pytest
+
+from repro.engine.segments import Segment, stream_from_segments
+from repro.errors import ConfigurationError, WorkloadError
+
+
+class TestSegment:
+    def test_ipc(self):
+        assert Segment(instructions=1_000, cycles=400).ipc == pytest.approx(2.5)
+
+    def test_defaults_to_miss_terminated(self):
+        assert Segment(10, 5).ends_with_miss
+
+    @pytest.mark.parametrize("instructions,cycles", [(0, 1), (-1, 1), (1, 0), (1, -1)])
+    def test_rejects_non_positive(self, instructions, cycles):
+        with pytest.raises(ConfigurationError):
+            Segment(instructions, cycles)
+
+    def test_is_immutable(self):
+        segment = Segment(10, 5)
+        with pytest.raises(AttributeError):
+            segment.instructions = 20
+
+
+class TestStreamFromSegments:
+    def test_replays_identically(self):
+        stream = stream_from_segments([Segment(10, 5), Segment(20, 8)])
+        first = list(stream.segments())
+        second = list(stream.segments())
+        assert first == second
+        assert len(first) == 2
+
+    def test_iterators_are_independent(self):
+        stream = stream_from_segments([Segment(10, 5), Segment(20, 8)])
+        it1 = stream.segments()
+        it2 = stream.segments()
+        next(it1)
+        assert next(it2).instructions == 10
+
+    def test_rejects_empty(self):
+        with pytest.raises(WorkloadError):
+            stream_from_segments([])
+
+    def test_keeps_name(self):
+        stream = stream_from_segments([Segment(1, 1)], name="toy")
+        assert stream.name == "toy"

@@ -1,0 +1,78 @@
+"""Tests for the engine's per-thread state."""
+
+import pytest
+
+from repro.engine.segments import Segment, stream_from_segments
+from repro.engine.thread import EngineThread
+from repro.errors import SimulationError
+
+
+def make_thread(segments=None):
+    if segments is None:
+        segments = [Segment(100, 40), Segment(200, 100)]
+    return EngineThread(0, stream_from_segments(segments))
+
+
+class TestEngineThread:
+    def test_loads_first_segment(self):
+        thread = make_thread()
+        assert thread.segment is not None
+        assert thread.ipc == pytest.approx(2.5)
+        assert not thread.done
+
+    def test_advance_retires_at_segment_ipc(self):
+        thread = make_thread()
+        retired = thread.advance(20)
+        assert retired == pytest.approx(50)
+        assert thread.retired == pytest.approx(50)
+        assert thread.run_cycles == pytest.approx(20)
+
+    def test_cycles_to_segment_end(self):
+        thread = make_thread()
+        thread.advance(15)
+        assert thread.cycles_to_segment_end == pytest.approx(25)
+
+    def test_cannot_advance_past_segment(self):
+        thread = make_thread()
+        with pytest.raises(SimulationError):
+            thread.advance(41)
+
+    def test_finish_segment_with_miss_sets_ready_at(self):
+        thread = make_thread()
+        thread.advance(40)
+        missed = thread.finish_segment(now=40.0, miss_lat=300.0)
+        assert missed
+        assert thread.ready_at == pytest.approx(340.0)
+        assert thread.misses == 1
+        assert thread.segment.instructions == 200  # next segment loaded
+
+    def test_finish_missless_segment_is_immediately_ready(self):
+        thread = make_thread([Segment(100, 40, ends_with_miss=False), Segment(1, 1)])
+        thread.advance(40)
+        missed = thread.finish_segment(now=40.0, miss_lat=300.0)
+        assert not missed
+        assert thread.ready_at == pytest.approx(40.0)
+        assert thread.misses == 0
+
+    def test_stream_exhaustion_marks_done(self):
+        thread = make_thread([Segment(100, 40)])
+        thread.advance(40)
+        thread.finish_segment(now=40.0, miss_lat=300.0)
+        assert thread.done
+        assert thread.segment is None
+
+    def test_is_ready_respects_ready_at(self):
+        thread = make_thread()
+        thread.ready_at = 100.0
+        assert not thread.is_ready(50.0)
+        assert thread.is_ready(100.0)
+
+    def test_done_thread_is_never_ready(self):
+        thread = make_thread([Segment(100, 40)])
+        thread.advance(40)
+        thread.finish_segment(now=40.0, miss_lat=0.0)
+        assert not thread.is_ready(1e9)
+
+    def test_negative_advance_rejected(self):
+        with pytest.raises(SimulationError):
+            make_thread().advance(-1)

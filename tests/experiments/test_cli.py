@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.errors import ConfigurationError
+from repro.experiments.registry import experiment_ids, get_experiment
+
+
+class TestRegistry:
+    def test_all_paper_artifacts_registered(self):
+        ids = experiment_ids()
+        for required in ["table2", "fig3", "fig5", "fig6", "fig7", "fig8",
+                         "timesharing", "validation", "ablations"]:
+            assert required in ids
+
+    def test_lookup_returns_experiment(self):
+        experiment = get_experiment("table2")
+        assert experiment.paper_reference == "Table 2"
+        assert callable(experiment.run)
+        assert callable(experiment.render)
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ConfigurationError):
+            get_experiment("fig99")
+
+
+class TestCli:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table2" in out
+        assert "fig8" in out
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.scale == "default"
+        assert args.seed == 0
+
+    def test_run_analytical_experiment(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+
+    def test_run_with_quick_scale(self, capsys):
+        assert main(["ablations", "--scale", "quick"]) == 0
+        out = capsys.readouterr().out
+        assert "Ablations" in out
+
+    def test_unknown_experiment_propagates(self):
+        with pytest.raises(ConfigurationError):
+            main(["fig99"])

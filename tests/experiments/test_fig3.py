@@ -1,0 +1,57 @@
+"""Tests for the Figure 3 experiment (analytical tradeoff sweep)."""
+
+import pytest
+
+from repro.experiments import fig3
+
+
+@pytest.fixture(scope="module")
+def result():
+    return fig3.run()
+
+
+class TestFig3:
+    def test_all_paper_cases_present(self, result):
+        assert len(result.series) == len(fig3.PAPER_CASES)
+
+    def test_f_zero_is_the_baseline(self, result):
+        for series in result.series:
+            assert series.throughput_change[0] == pytest.approx(0.0)
+
+    def test_equal_ipc_cases_degrade_mildly(self, result):
+        # Paper: when IPC_no_miss is similar, degradation is up to ~4%.
+        for series in result.series:
+            if series.ipc_no_miss[0] == series.ipc_no_miss[1]:
+                assert min(series.throughput_change) > -0.05
+
+    def test_mixed_ipc_can_improve_throughput(self, result):
+        # Paper: the [2, 3] cases improve by up to ~10%.
+        improving = [
+            s for s in result.series if s.ipc_no_miss == (2.0, 3.0)
+        ]
+        assert improving
+        assert any(max(s.throughput_change) > 0.05 for s in improving)
+
+    def test_mixed_ipc_can_degrade_strongly(self, result):
+        # Paper: degradation can reach ~15%.
+        degrading = [
+            s for s in result.series if s.ipc_no_miss == (3.0, 2.0)
+        ]
+        assert any(min(s.throughput_change) < -0.10 for s in degrading)
+
+    def test_envelope_matches_paper(self, result):
+        assert -0.20 < result.max_degradation() < -0.08
+        assert 0.05 < result.max_improvement() < 0.15
+
+    def test_monotone_change_along_f_for_each_series(self, result):
+        # Throughput change moves monotonically with F in this model
+        # (quotas scale smoothly with 1/F).
+        for series in result.series:
+            changes = series.throughput_change
+            diffs = [b - a for a, b in zip(changes, changes[1:])]
+            assert all(d <= 1e-9 for d in diffs) or all(d >= -1e-9 for d in diffs)
+
+    def test_render(self, result):
+        text = fig3.render(result)
+        assert "Figure 3" in text
+        assert "max degradation" in text

@@ -1,0 +1,69 @@
+"""Tests for the ASCII chart renderer."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.metrics.ascii_chart import bar_chart, line_chart
+
+
+class TestLineChart:
+    def test_renders_markers_and_legend(self):
+        chart = line_chart({"a": [0.0, 1.0, 2.0], "b": [2.0, 1.0, 0.0]})
+        assert "o a" in chart
+        assert "x b" in chart
+        assert "o" in chart.splitlines()[0] + chart.splitlines()[-3]
+
+    def test_y_axis_annotated_with_bounds(self):
+        chart = line_chart({"a": [0.0, 10.0]})
+        assert "10" in chart
+        assert "0 |" in chart.replace("  ", " ")
+
+    def test_x_values_respected(self):
+        chart = line_chart({"a": [1.0, 2.0]}, x_values=[0.0, 0.5])
+        assert "0.5" in chart
+
+    def test_flat_series_does_not_crash(self):
+        chart = line_chart({"a": [1.0, 1.0, 1.0]})
+        assert "a" in chart
+
+    def test_dimensions(self):
+        chart = line_chart({"a": [0, 1, 2]}, width=20, height=5)
+        plot_rows = [l for l in chart.splitlines() if "|" in l]
+        assert len(plot_rows) == 5
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"series": {}},
+            {"series": {"a": [1.0]}},
+            {"series": {"a": [1, 2], "b": [1, 2, 3]}},
+            {"series": {"a": [1, 2]}, "x_values": [0.0]},
+            {"series": {"a": [1, 2]}, "width": 4},
+        ],
+    )
+    def test_rejects_bad_inputs(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            line_chart(**kwargs)
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        chart = bar_chart({"big": 1.0, "small": 0.25}, width=40)
+        lines = {l.split("|")[0].strip(): l for l in chart.splitlines()}
+        assert lines["big"].count("#") > lines["small"].count("#")
+
+    def test_values_shown(self):
+        chart = bar_chart({"x": 0.5})
+        assert "0.5" in chart
+
+    def test_zero_value_has_no_bar(self):
+        chart = bar_chart({"x": 0.0, "y": 1.0})
+        x_line = next(l for l in chart.splitlines() if l.startswith("x"))
+        assert "#" not in x_line
+
+    def test_all_zero_does_not_crash(self):
+        assert "x" in bar_chart({"x": 0.0})
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            bar_chart({})

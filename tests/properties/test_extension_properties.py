@@ -1,0 +1,150 @@
+"""Property-based tests for the extension features (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.estimator import ThreadEstimate
+from repro.core.fairness import fairness, weighted_fairness
+from repro.core.latency import MissLatencyMonitor
+from repro.core.quota import quotas_from_estimates
+from repro.workloads.events import EventType, mean_event_latency
+
+positive = st.floats(min_value=0.01, max_value=100.0)
+speedup_lists = st.lists(
+    st.floats(min_value=0.001, max_value=5.0), min_size=2, max_size=6
+)
+
+
+@st.composite
+def estimates_and_weights(draw):
+    n = draw(st.integers(min_value=2, max_value=5))
+    estimates = []
+    for _ in range(n):
+        ipm = draw(st.floats(min_value=100, max_value=50_000))
+        cpm = draw(st.floats(min_value=50, max_value=25_000))
+        estimates.append(ThreadEstimate(ipm, cpm, ipm / (cpm + 300)))
+    weights = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0), min_size=n, max_size=n
+        )
+    )
+    return estimates, weights
+
+
+class TestWeightedFairnessProperties:
+    @given(speedup_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_unit_weights_match_base_metric(self, speedups):
+        weights = [1.0] * len(speedups)
+        assert math.isclose(
+            weighted_fairness(speedups, weights), fairness(speedups)
+        )
+
+    @given(speedup_lists, positive)
+    @settings(max_examples=150, deadline=None)
+    def test_uniform_weight_scaling_is_identity(self, speedups, scale):
+        weights = [scale] * len(speedups)
+        assert math.isclose(
+            weighted_fairness(speedups, weights),
+            fairness(speedups),
+            rel_tol=1e-9,
+        )
+
+    @given(speedup_lists)
+    @settings(max_examples=150, deadline=None)
+    def test_weights_equal_to_speedups_give_perfect_fairness(self, speedups):
+        # If each thread's speedup matches its entitlement exactly, the
+        # weighted metric reports 1.
+        assert weighted_fairness(speedups, speedups) == 1.0
+
+
+class TestWeightedQuotaProperties:
+    @given(estimates_and_weights(), st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_quota_constant_is_common_below_the_cap(self, data, target):
+        estimates, weights = data
+        quotas = quotas_from_estimates(estimates, target, 300, weights=weights)
+        constants = [
+            q / (w * e.ipc_st)
+            for q, w, e in zip(quotas, weights, estimates)
+            if math.isfinite(q) and q < e.ipm * (1 - 1e-9) and q > 1.0
+        ]
+        for constant in constants[1:]:
+            assert math.isclose(constant, constants[0], rel_tol=1e-9)
+
+    @given(estimates_and_weights(), st.floats(min_value=0.05, max_value=1.0))
+    @settings(max_examples=150, deadline=None)
+    def test_no_quota_exceeds_ipm(self, data, target):
+        estimates, weights = data
+        quotas = quotas_from_estimates(estimates, target, 300, weights=weights)
+        for quota, estimate in zip(quotas, estimates):
+            if math.isfinite(quota):
+                assert quota <= estimate.ipm + 1e-6 or quota == 1.0
+
+    @given(estimates_and_weights())
+    @settings(max_examples=100, deadline=None)
+    def test_at_least_one_thread_pinned_at_ipm_when_f_is_one(self, data):
+        estimates, weights = data
+        quotas = quotas_from_estimates(estimates, 1.0, 300, weights=weights)
+        assert any(
+            math.isclose(q, e.ipm, rel_tol=1e-6)
+            for q, e in zip(quotas, estimates)
+        )
+
+
+class TestLatencyMonitorProperties:
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1_000.0), min_size=1,
+                 max_size=100)
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_window_average_is_the_mean(self, latencies):
+        monitor = MissLatencyMonitor(1, 300.0)
+        for latency in latencies:
+            monitor.record(0, latency)
+        average = monitor.sample_and_reset()[0]
+        assert math.isclose(
+            average, sum(latencies) / len(latencies), rel_tol=1e-9
+        )
+
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1_000.0), min_size=1,
+                 max_size=50)
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_average_bounded_by_observations(self, latencies):
+        monitor = MissLatencyMonitor(1, 300.0)
+        for latency in latencies:
+            monitor.record(0, latency)
+        average = monitor.sample_and_reset()[0]
+        assert min(latencies) - 1e-9 <= average <= max(latencies) + 1e-9
+
+
+class TestEventMixtureProperties:
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=10, max_value=100_000),
+                st.floats(min_value=0, max_value=1_000),
+            ),
+            min_size=1,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_mean_latency_bounded_by_extremes(self, raw):
+        events = [EventType(ipm, lat) for ipm, lat in raw]
+        mean = mean_event_latency(events)
+        latencies = [e.latency for e in events]
+        assert min(latencies) - 1e-9 <= mean <= max(latencies) + 1e-9
+
+    @given(st.floats(min_value=10, max_value=100_000),
+           st.floats(min_value=0, max_value=1_000))
+    @settings(max_examples=100, deadline=None)
+    def test_single_event_mean_is_its_latency(self, ipm, latency):
+        assert math.isclose(
+            mean_event_latency([EventType(ipm, latency)]), latency,
+            abs_tol=1e-12,
+        )

@@ -1,0 +1,129 @@
+"""Property-based tests for the analytical model (hypothesis)."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.fairness import fairness, harmonic_mean_fairness
+from repro.core.model import SoeModel, ThreadParams, compute_ipsw
+
+ipc_values = st.floats(min_value=0.2, max_value=4.0)
+ipm_values = st.floats(min_value=50.0, max_value=100_000.0)
+fairness_targets = st.floats(min_value=0.01, max_value=1.0)
+
+
+def thread_params():
+    return st.builds(ThreadParams, ipc_no_miss=ipc_values, ipm=ipm_values)
+
+
+@st.composite
+def models(draw, n_threads=st.integers(min_value=2, max_value=4)):
+    threads = draw(
+        st.lists(thread_params(), min_size=draw(n_threads), max_size=4)
+    )
+    if len(threads) < 2:
+        threads = threads + threads
+    return SoeModel(threads, miss_lat=300, switch_lat=25)
+
+
+class TestModelInvariants:
+    @given(models(), fairness_targets)
+    @settings(max_examples=150, deadline=None)
+    def test_enforced_fairness_meets_target(self, model, target):
+        """Eq. 9's guarantee: quotas computed for F achieve >= F."""
+        assert model.fairness(target) >= target - 1e-9
+
+    @given(models(), fairness_targets)
+    @settings(max_examples=100, deadline=None)
+    def test_fairness_bounded(self, model, target):
+        assert 0.0 <= model.fairness(target) <= 1.0 + 1e-12
+
+    @given(models())
+    @settings(max_examples=100, deadline=None)
+    def test_throughput_positive_and_bounded(self, model):
+        throughput = model.throughput(0.0)
+        assert throughput > 0
+        assert throughput <= sum(t.ipc_no_miss for t in model.threads)
+
+    @given(models(), fairness_targets, fairness_targets)
+    @settings(max_examples=100, deadline=None)
+    def test_fairness_monotone_in_target(self, model, f1, f2):
+        lo, hi = sorted((f1, f2))
+        assert model.fairness(lo) <= model.fairness(hi) + 1e-9
+
+    @given(models(), fairness_targets)
+    @settings(max_examples=100, deadline=None)
+    def test_quota_never_exceeds_ipm(self, model, target):
+        for thread, quota in zip(model.threads, model.quotas(target)):
+            assert quota <= thread.ipm + 1e-9
+
+    @given(models(), fairness_targets)
+    @settings(max_examples=100, deadline=None)
+    def test_per_thread_ipc_below_single_thread_rate(self, model, target):
+        """A thread can never retire faster under SOE than its own
+        no-miss rate."""
+        for thread, soe_ipc in zip(model.threads, model.soe_ipcs(target)):
+            assert soe_ipc <= thread.ipc_no_miss + 1e-9
+
+    @given(thread_params(), fairness_targets)
+    @settings(max_examples=100, deadline=None)
+    def test_identical_pair_is_perfectly_fair(self, params, target):
+        model = SoeModel([params, params], miss_lat=300, switch_lat=25)
+        assert model.fairness(target) == 1.0
+
+    @given(
+        st.floats(min_value=100, max_value=50_000),
+        st.floats(min_value=0.2, max_value=4.0),
+        st.floats(min_value=10, max_value=10_000),
+        fairness_targets,
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_compute_ipsw_scales_inversely_with_f(self, ipm, ipc_st, cpm_min, f):
+        quota = compute_ipsw(ipm, ipc_st, cpm_min, 300, f)
+        half = compute_ipsw(ipm, ipc_st, cpm_min, 300, f / 2)
+        # Halving F grows the quota, exactly doubling it below the IPM
+        # cap.
+        assert half >= quota - 1e-9
+        if half < ipm:
+            assert math.isclose(half, 2 * quota, rel_tol=1e-9)
+
+
+class TestFairnessMetricProperties:
+    @given(st.lists(st.floats(min_value=0.001, max_value=5.0), min_size=1, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_bounded(self, speedups):
+        assert 0.0 <= fairness(speedups) <= 1.0
+
+    @given(
+        st.lists(st.floats(min_value=0.001, max_value=5.0), min_size=1, max_size=8),
+        st.floats(min_value=0.01, max_value=100.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_scale_invariant(self, speedups, scale):
+        scaled = [s * scale for s in speedups]
+        assert math.isclose(
+            fairness(speedups), fairness(scaled), rel_tol=1e-9
+        )
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=5.0), min_size=2, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_stricter_than_harmonic_mean_normalized(self, speedups):
+        """The paper's claim: the min-ratio metric is stricter -- perfect
+        min-ratio fairness implies equal speedups, while the harmonic
+        mean can be high despite imbalance."""
+        if fairness(speedups) == 1.0:
+            assert max(speedups) == min(speedups)
+
+    @given(st.lists(st.floats(min_value=0.001, max_value=5.0), min_size=1, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_permutation_invariant(self, speedups):
+        assert math.isclose(
+            fairness(speedups), fairness(sorted(speedups)), rel_tol=1e-12
+        )
+
+    @given(st.lists(st.floats(min_value=0.01, max_value=5.0), min_size=2, max_size=8))
+    @settings(max_examples=100, deadline=None)
+    def test_harmonic_mean_between_min_and_max(self, speedups):
+        hm = harmonic_mean_fairness(speedups)
+        assert min(speedups) - 1e-9 <= hm <= max(speedups) + 1e-9

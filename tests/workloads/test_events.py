@@ -1,0 +1,105 @@
+"""Tests for multi-event workloads."""
+
+import itertools
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.workloads.events import EventType, mean_event_latency, multi_event_stream
+
+
+def take(stream, n):
+    return list(itertools.islice(stream.segments(), n))
+
+
+class TestEventType:
+    def test_rate(self):
+        assert EventType(ipm=500, latency=40).rate == pytest.approx(0.002)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ConfigurationError):
+            EventType(ipm=0, latency=40)
+        with pytest.raises(ConfigurationError):
+            EventType(ipm=500, latency=-1)
+
+
+class TestMeanEventLatency:
+    def test_single_type(self):
+        assert mean_event_latency([EventType(1_000, 300)]) == pytest.approx(300)
+
+    def test_rate_weighted(self):
+        # 10x more short events than long ones.
+        events = [EventType(600, 40), EventType(6_000, 300)]
+        assert mean_event_latency(events) == pytest.approx((10 * 40 + 300) / 11)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigurationError):
+            mean_event_latency([])
+
+
+class TestMultiEventStream:
+    EVENTS = (EventType(600, 40), EventType(6_000, 300))
+
+    def test_deterministic(self):
+        a = take(multi_event_stream(2.0, self.EVENTS, seed=5), 100)
+        b = take(multi_event_stream(2.0, self.EVENTS, seed=5), 100)
+        assert a == b
+
+    def test_segments_carry_event_latencies(self):
+        segments = take(multi_event_stream(2.0, self.EVENTS, seed=1), 2_000)
+        latencies = {s.miss_latency for s in segments}
+        assert latencies == {40.0, 300.0}
+
+    def test_event_mix_matches_rates(self):
+        segments = take(multi_event_stream(2.0, self.EVENTS, seed=2), 10_000)
+        short = sum(1 for s in segments if s.miss_latency == 40.0)
+        assert short / len(segments) == pytest.approx(10 / 11, abs=0.03)
+
+    def test_mean_spacing_matches_combined_rate(self):
+        segments = take(multi_event_stream(2.0, self.EVENTS, seed=3), 20_000)
+        mean_len = sum(s.instructions for s in segments) / len(segments)
+        combined_ipm = 1.0 / (1 / 600 + 1 / 6_000)
+        assert mean_len == pytest.approx(combined_ipm, rel=0.05)
+
+    def test_segment_ipc(self):
+        segments = take(multi_event_stream(2.0, self.EVENTS, seed=4), 50)
+        for segment in segments:
+            assert segment.ipc == pytest.approx(2.0, rel=1e-9)
+
+    def test_rejects_bad_config(self):
+        with pytest.raises(ConfigurationError):
+            multi_event_stream(0.0, self.EVENTS)
+        with pytest.raises(ConfigurationError):
+            multi_event_stream(2.0, [])
+
+
+class TestEngineWithEventLatencies:
+    def test_single_thread_uses_per_segment_latency(self):
+        from repro.engine.segments import Segment, stream_from_segments
+        from repro.engine.singlethread import run_single_thread
+
+        stream = stream_from_segments(
+            [Segment(100, 50, miss_latency=40.0)] * 10
+        )
+        result = run_single_thread(stream, miss_lat=300.0, min_instructions=500)
+        # 100 instructions per (50 + 40) cycles, NOT (50 + 300).
+        assert result.ipc == pytest.approx(100 / 90, rel=1e-6)
+
+    def test_soe_readiness_uses_per_segment_latency(self):
+        from repro.engine.segments import Segment, stream_from_segments
+        from repro.engine.soe import RunLimits, SoeParams, run_soe
+
+        # Both threads: short 40-cycle events. With the default 300-cycle
+        # assumption the partner's run would always cover the stall; with
+        # 40-cycle stalls and ~50-cycle partner dispatches the engine has
+        # no idle time either -- but total time shrinks massively.
+        short = lambda seed: stream_from_segments(
+            [Segment(100, 50, miss_latency=40.0)] * 200
+        )
+        result = run_soe(
+            [short(1), short(2)],
+            params=SoeParams(miss_lat=300.0, switch_lat=5.0),
+            limits=RunLimits(min_instructions=10_000),
+        )
+        # Round = 2 * (50 + 5) = 110 cycles per 200 instructions.
+        assert result.total_ipc == pytest.approx(200 / 110, rel=0.05)

@@ -1,0 +1,55 @@
+"""Tests for the evaluation pair definitions."""
+
+import itertools
+
+import pytest
+
+from repro.workloads.pairs import EVALUATION_PAIRS, BenchmarkPair, evaluation_pairs
+
+
+class TestEvaluationPairs:
+    def test_sixteen_combinations(self):
+        assert len(EVALUATION_PAIRS) == 16
+
+    def test_eight_homogeneous(self):
+        assert sum(1 for p in EVALUATION_PAIRS if p.is_homogeneous) == 8
+
+    def test_paper_named_pairs_present(self):
+        labels = {p.label for p in EVALUATION_PAIRS}
+        for label in ["gcc:eon", "lucas:applu", "galgel:gcc", "apsi:swim",
+                      "gcc:gcc", "mgrid:mgrid", "bzip2b:bzip2b"]:
+            assert label in labels
+
+    def test_labels_unique(self):
+        labels = [p.label for p in EVALUATION_PAIRS]
+        assert len(labels) == len(set(labels))
+
+    def test_evaluation_pairs_returns_copy(self):
+        pairs = evaluation_pairs()
+        pairs.clear()
+        assert len(EVALUATION_PAIRS) == 16
+
+
+class TestBenchmarkPair:
+    def test_profiles_resolve(self):
+        a, b = BenchmarkPair("gcc", "eon").profiles()
+        assert a.name == "gcc"
+        assert b.name == "eon"
+
+    def test_streams_are_distinct_for_heterogeneous_pair(self):
+        s1, s2 = BenchmarkPair("gcc", "eon").streams(seed=0)
+        seg1 = next(s1.segments())
+        seg2 = next(s2.segments())
+        assert seg1 != seg2
+
+    def test_homogeneous_pair_offsets_second_thread(self):
+        s1, s2 = BenchmarkPair("gcc", "gcc").streams(seed=0)
+        first = [s.instructions for s in itertools.islice(s1.segments(), 10)]
+        second = [s.instructions for s in itertools.islice(s2.segments(), 10)]
+        assert first != second
+
+    def test_streams_deterministic_per_seed(self):
+        pair = BenchmarkPair("apsi", "swim")
+        a1, _ = pair.streams(seed=4)
+        a2, _ = pair.streams(seed=4)
+        assert next(a1.segments()) == next(a2.segments())

@@ -1,0 +1,78 @@
+"""Tests for benchmark profiles and the SPEC CPU2000 catalogue."""
+
+import itertools
+
+import pytest
+
+from repro.engine.singlethread import run_single_thread
+from repro.errors import WorkloadError
+from repro.workloads.profiles import BenchmarkProfile
+from repro.workloads.spec2000 import PROFILES, benchmark_names, get_profile
+
+
+class TestBenchmarkProfile:
+    def test_thread_params_roundtrip(self):
+        profile = BenchmarkProfile("toy", ipc_no_miss=2.0, ipm=1_000)
+        params = profile.thread_params()
+        assert params.ipc_no_miss == 2.0
+        assert params.ipm == 1_000
+        assert profile.cpm == pytest.approx(500)
+
+    def test_model_ipc_st(self):
+        profile = BenchmarkProfile("toy", 2.0, 1_000)
+        assert profile.single_thread_ipc(300) == pytest.approx(1_000 / 800)
+
+    def test_stream_statistics_match_profile(self):
+        profile = BenchmarkProfile("toy", 2.0, 1_000, ipm_cv=0.5, ipc_cv=0.1)
+        segments = list(itertools.islice(profile.stream(seed=5).segments(), 5_000))
+        mean_instr = sum(s.instructions for s in segments) / len(segments)
+        assert mean_instr == pytest.approx(1_000, rel=0.1)
+
+    def test_measured_ipc_st_tracks_model(self):
+        profile = BenchmarkProfile("toy", 2.0, 1_000, ipm_cv=0.5, ipc_cv=0.1)
+        measured = run_single_thread(
+            profile.stream(seed=11), miss_lat=300, min_instructions=500_000
+        ).ipc
+        assert measured == pytest.approx(profile.single_thread_ipc(300), rel=0.1)
+
+    def test_streams_deterministic_per_seed(self):
+        profile = get_profile("gcc")
+        a = list(itertools.islice(profile.stream(seed=3).segments(), 100))
+        b = list(itertools.islice(profile.stream(seed=3).segments(), 100))
+        assert a == b
+
+
+class TestSpec2000Catalogue:
+    def test_paper_benchmarks_present(self):
+        for name in ["gcc", "eon", "lucas", "applu", "galgel", "apsi",
+                     "swim", "mgrid", "bzip2b", "mcf"]:
+            assert name in PROFILES
+
+    def test_names_sorted_and_unique(self):
+        names = benchmark_names()
+        assert names == sorted(names)
+        assert len(names) == len(set(names))
+
+    def test_unknown_benchmark_raises(self):
+        with pytest.raises(WorkloadError):
+            get_profile("does-not-exist")
+
+    def test_catalogue_spans_the_cpm_spectrum(self):
+        # Eq. 5 needs a wide CPM spread to reproduce the paper's
+        # fairness range (0.01 - 1.0).
+        cpms = [p.cpm for p in PROFILES.values()]
+        assert min(cpms) < 300
+        assert max(cpms) > 10_000
+
+    def test_eon_is_compute_bound_and_mcf_memory_bound(self):
+        assert get_profile("eon").ipm > 20 * get_profile("mcf").ipm
+
+    def test_all_profiles_produce_streams(self):
+        for name, profile in PROFILES.items():
+            segments = list(itertools.islice(profile.stream(seed=1).segments(), 3))
+            assert len(segments) == 3, name
+
+    def test_model_single_thread_ipcs_are_plausible(self):
+        for profile in PROFILES.values():
+            ipc_st = profile.single_thread_ipc(300)
+            assert 0.1 < ipc_st < 3.5, profile.name

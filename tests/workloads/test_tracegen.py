@@ -1,0 +1,107 @@
+"""Tests for the synthetic trace generator and address patterns."""
+
+import itertools
+import random
+
+import pytest
+
+from repro.cpu.isa import OpClass
+from repro.errors import ConfigurationError
+from repro.workloads.addresses import HotSetAccessor, StreamingAccessor
+from repro.workloads.tracegen import (
+    COMPUTE_SPEC,
+    MEMORY_SPEC,
+    CpuWorkloadSpec,
+    make_trace,
+)
+
+
+def take(program, n):
+    return list(itertools.islice(program.uops(), n))
+
+
+class TestAccessors:
+    def test_hot_set_stays_in_bounds(self):
+        accessor = HotSetAccessor(0x1000, 4096, random.Random(0))
+        for _ in range(1_000):
+            address = accessor.next_address()
+            assert 0x1000 <= address < 0x1000 + 4096
+
+    def test_streaming_advances_by_stride(self):
+        accessor = StreamingAccessor(0, 1024, stride=64)
+        addresses = [accessor.next_address() for _ in range(4)]
+        assert addresses == [0, 64, 128, 192]
+
+    def test_streaming_wraps(self):
+        accessor = StreamingAccessor(0, 128, stride=64)
+        addresses = [accessor.next_address() for _ in range(3)]
+        assert addresses == [0, 64, 0]
+
+    def test_bad_configs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            HotSetAccessor(0, 0, random.Random(0))
+        with pytest.raises(ConfigurationError):
+            StreamingAccessor(0, 0)
+
+
+class TestCpuWorkloadSpec:
+    def test_rejects_bad_mix(self):
+        with pytest.raises(ConfigurationError):
+            CpuWorkloadSpec(name="bad", load_fraction=0.9, store_fraction=0.2)
+
+    def test_rejects_bad_ilp(self):
+        with pytest.raises(ConfigurationError):
+            CpuWorkloadSpec(name="bad", ilp=0)
+
+
+class TestMakeTrace:
+    def test_deterministic_per_seed(self):
+        a = take(make_trace(MEMORY_SPEC, seed=3), 200)
+        b = take(make_trace(MEMORY_SPEC, seed=3), 200)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = take(make_trace(MEMORY_SPEC, seed=1), 200)
+        b = take(make_trace(MEMORY_SPEC, seed=2), 200)
+        assert a != b
+
+    def test_code_layout_is_static(self):
+        # The op class at each pc must repeat across loop iterations.
+        slots = COMPUTE_SPEC.code_bytes // 4
+        uops = take(make_trace(COMPUTE_SPEC, seed=1), slots * 2)
+        first, second = uops[:slots], uops[slots:]
+        for a, b in zip(first, second):
+            assert a.pc == b.pc
+            assert a.opclass == b.opclass
+
+    def test_mix_approximates_spec(self):
+        uops = take(make_trace(MEMORY_SPEC, seed=1), 20_000)
+        loads = sum(1 for u in uops if u.opclass is OpClass.LOAD)
+        branches = sum(1 for u in uops if u.opclass is OpClass.BRANCH)
+        assert loads / len(uops) == pytest.approx(MEMORY_SPEC.load_fraction, abs=0.05)
+        assert branches / len(uops) == pytest.approx(
+            MEMORY_SPEC.branch_fraction, abs=0.05
+        )
+
+    def test_streaming_load_rate_approximates_ipm(self):
+        uops = take(make_trace(MEMORY_SPEC, seed=1), 50_000)
+        streaming = sum(
+            1
+            for u in uops
+            if u.opclass is OpClass.LOAD and u.address >= (1 << 26)
+        )
+        observed_ipm = len(uops) / max(streaming, 1)
+        assert observed_ipm == pytest.approx(MEMORY_SPEC.ipm, rel=0.25)
+
+    def test_threads_get_disjoint_address_spaces(self):
+        a = take(make_trace(MEMORY_SPEC, seed=1, thread_index=0), 500)
+        b = take(make_trace(MEMORY_SPEC, seed=1, thread_index=1), 500)
+        max_a = max(u.address for u in a if u.address is not None)
+        min_b = min(u.address for u in b if u.address is not None)
+        assert max_a < min_b
+
+    def test_branch_targets_match_next_pc(self):
+        uops = take(make_trace(COMPUTE_SPEC, seed=1), 5_000)
+        for i, uop in enumerate(uops[:-1]):
+            if uop.opclass is OpClass.BRANCH:
+                assert uop.target == uops[i + 1].pc
