@@ -1,0 +1,67 @@
+"""Benchmark: the parallel, cached grid runner vs the serial baseline.
+
+Times the 16-pair evaluation grid three ways -- serial, multiprocess
+(``jobs = cpu_count``), and warm-cache -- and records the wall-clock
+numbers plus cache hit/miss counts to ``results/parallel_grid.txt``.
+The speedup column is informative only (on a single-core host the
+parallel run pays pool overhead for nothing); the correctness assertion
+is bit-identity between all three result sets.
+"""
+
+import multiprocessing
+import time
+
+from conftest import write_result
+from repro.experiments.runner import ExecutionSettings, run_grid
+
+
+def _timed_grid(config, settings):
+    start = time.perf_counter()
+    outcome = run_grid(config, settings=settings)
+    return outcome, time.perf_counter() - start
+
+
+def test_parallel_grid_wall_clock(benchmark, eval_config, results_dir):
+    jobs = max(2, multiprocessing.cpu_count())
+    serial, serial_s = _timed_grid(eval_config, ExecutionSettings(jobs=1))
+    (parallel, parallel_s) = benchmark.pedantic(
+        lambda: _timed_grid(eval_config, ExecutionSettings(jobs=jobs)),
+        rounds=1, iterations=1,
+    )
+    assert parallel.results == serial.results
+    write_result(
+        results_dir,
+        "parallel_grid",
+        "\n".join([
+            "Grid runner wall-clock (16 pairs x 4 fairness levels)",
+            f"  serial   (jobs=1):      {serial_s:8.3f} s",
+            f"  parallel (jobs={jobs}):      {parallel_s:8.3f} s",
+            f"  speedup:                {serial_s / parallel_s:8.2f}x "
+            f"on {multiprocessing.cpu_count()} core(s)",
+        ]),
+    )
+
+
+def test_cache_hit_rate_on_rerun(benchmark, eval_config, results_dir,
+                                 tmp_path):
+    cold, cold_s = _timed_grid(
+        eval_config, ExecutionSettings(cache_dir=tmp_path))
+    (warm, warm_s) = benchmark.pedantic(
+        lambda: _timed_grid(eval_config, ExecutionSettings(cache_dir=tmp_path)),
+        rounds=1, iterations=1,
+    )
+    assert warm.results == cold.results
+    assert cold.stats.misses == 16 and cold.stats.hits == 0
+    assert warm.stats.hits == 16 and warm.stats.misses == 0
+    assert warm.stats.hit_rate == 1.0
+    report = "\n".join([
+        "Result-cache effectiveness (same config, same code version)",
+        f"  cold run: {cold.stats.hits:2d} hits / {cold.stats.misses:2d} "
+        f"misses, {cold_s:8.3f} s",
+        f"  warm run: {warm.stats.hits:2d} hits / {warm.stats.misses:2d} "
+        f"misses, {warm_s:8.3f} s",
+        f"  warm/cold wall-clock:    {warm_s / cold_s:8.3f}",
+    ])
+    previous = (results_dir / "parallel_grid.txt")
+    base = previous.read_text().rstrip() + "\n\n" if previous.exists() else ""
+    write_result(results_dir, "parallel_grid", base + report)

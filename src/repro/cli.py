@@ -5,25 +5,32 @@ Examples::
     python -m repro list                 # show available experiments
     python -m repro table2               # reproduce Table 2
     python -m repro fig7 --scale paper   # Figure 7 at the paper's run lengths
-    python -m repro all                  # run the whole evaluation
+    python -m repro all --jobs 8         # whole evaluation, 8 worker processes
+    python -m repro all --cache-dir .repro-cache   # reuse finished grid runs
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Optional, Sequence
 
 from repro.experiments.common import EvalConfig
 from repro.experiments.registry import experiment_ids, get_experiment
+from repro.experiments.runner import ExecutionSettings, execution
 
 __all__ = ["main", "build_parser"]
 
-#: Experiments whose run() accepts an EvalConfig keyword.
-_CONFIGURED = {"fig5", "fig6", "fig7", "fig8", "ablations"}
-
 #: Experiments that share the 16-pair evaluation grid.
 _GRID = ("fig6", "fig7", "fig8")
+
+#: Execution order of ``python -m repro all`` (the grid figures run in
+#: between, off one shared grid; ``stability`` reruns the grid per seed
+#: and stays opt-in).
+_ALL_BEFORE_GRID = ("table2", "fig3", "fig5")
+_ALL_AFTER_GRID = ("timesharing", "validation", "ablations", "events",
+                   "threadcount", "weighted", "sensitivity")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -48,6 +55,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=0, help="workload seed (default 0)"
     )
     parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="worker processes for grid/sweep simulations (default 1 = "
+             "serial; results are bit-identical at any job count)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="PATH",
+        help="directory for the on-disk result cache; re-renders of "
+             "already-computed runs skip simulation",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="neither read nor write the on-disk result cache",
+    )
+    parser.add_argument(
         "--output",
         metavar="FILE",
         help="also write the rendered text to FILE",
@@ -55,8 +81,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--json",
         metavar="FILE",
-        help="also write the raw result as JSON to FILE "
-             "(single experiments only)",
+        help="also write the raw result as JSON to FILE ('all' writes a "
+             "combined document keyed by experiment id)",
     )
     return parser
 
@@ -75,33 +101,35 @@ def _config_for(scale: str, seed: int) -> EvalConfig:
     return replace(base, seed=seed)
 
 
-def _run_one(
-    experiment_id: str, config: EvalConfig, json_path: Optional[str] = None
-) -> str:
+def _run_one(experiment_id: str, config: EvalConfig) -> tuple[object, str]:
+    """Run one registered experiment; every run() accepts ``config=``."""
     experiment = get_experiment(experiment_id)
-    if experiment_id in _CONFIGURED:
-        result = experiment.run(config=config)
-    else:
-        result = experiment.run()
-    if json_path:
-        from repro.experiments.io import write_json
-
-        write_json(result, json_path)
-    return experiment.render(result)
+    result = experiment.run(config=config)
+    return result, experiment.render(result)
 
 
-def _run_grid(config: EvalConfig) -> str:
-    """Run the 16-pair grid once and render Figures 6-8 from it."""
+def _run_grid(config: EvalConfig) -> tuple[dict[str, object], list[str]]:
+    """Run the 16-pair grid once and derive Figures 6-8 from it."""
     from repro.experiments import fig6, fig7, fig8
     from repro.experiments.common import run_all_pairs
 
     pair_results = run_all_pairs(config)
+    modules = {"fig6": fig6, "fig7": fig7, "fig8": fig8}
+    results = {
+        experiment_id: module.run(config, pairs=pair_results)
+        for experiment_id, module in modules.items()
+    }
     sections = [
-        fig6.render(fig6.run(config, pairs=pair_results)),
-        fig7.render(fig7.run(config, pairs=pair_results)),
-        fig8.render(fig8.run(config, pairs=pair_results)),
+        modules[experiment_id].render(results[experiment_id])
+        for experiment_id in _GRID
     ]
-    return "\n\n".join(sections)
+    return results, sections
+
+
+def _write_text(path: str, text: str) -> None:
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(text)
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -114,34 +142,43 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     config = _config_for(args.scale, args.seed)
-    if args.experiment == "all":
-        sections = [
-            _run_one("table2", config),
-            _run_one("fig3", config),
-            _run_one("fig5", config),
-            _run_grid(config),
-            _run_one("timesharing", config),
-            _run_one("validation", config),
-            _run_one("ablations", config),
-            _run_one("events", config),
-            _run_one("threadcount", config),
-            _run_one("weighted", config),
-            _run_one("sensitivity", config),
-        ]
-        text = "\n\n".join(sections)
-        print(text)
-        if args.output:
-            from pathlib import Path
+    settings = ExecutionSettings(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache or args.cache_dir is None
+        else pathlib.Path(args.cache_dir),
+    )
+    with execution(settings):
+        if args.experiment == "all":
+            results: dict[str, object] = {}
+            sections: list[str] = []
+            for experiment_id in _ALL_BEFORE_GRID:
+                result, text = _run_one(experiment_id, config)
+                results[experiment_id] = result
+                sections.append(text)
+            grid_results, grid_sections = _run_grid(config)
+            results.update(grid_results)
+            sections.extend(grid_sections)
+            for experiment_id in _ALL_AFTER_GRID:
+                result, text = _run_one(experiment_id, config)
+                results[experiment_id] = result
+                sections.append(text)
+            text = "\n\n".join(sections)
+            json_payload: object = {
+                "scale": args.scale,
+                "seed": args.seed,
+                "experiments": results,
+            }
+        else:
+            result, text = _run_one(args.experiment, config)
+            json_payload = result
 
-            Path(args.output).write_text(text + "\n")
-        return 0
-
-    text = _run_one(args.experiment, config, json_path=args.json)
     print(text)
     if args.output:
-        from pathlib import Path
+        _write_text(args.output, text + "\n")
+    if args.json:
+        from repro.experiments.io import write_json
 
-        Path(args.output).write_text(text + "\n")
+        write_json(json_payload, args.json)
     return 0
 
 

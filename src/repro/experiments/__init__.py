@@ -16,14 +16,28 @@ from repro.experiments.registry import (
     experiment_ids,
     get_experiment,
 )
+from repro.experiments.runner import (
+    ExecutionSettings,
+    GridOutcome,
+    ResultCache,
+    execution,
+    parallel_map,
+    run_grid,
+)
 
 __all__ = [
     "EvalConfig",
+    "ExecutionSettings",
     "Experiment",
+    "GridOutcome",
     "PairResult",
+    "ResultCache",
+    "execution",
     "experiment_ids",
     "format_table",
     "get_experiment",
+    "parallel_map",
     "run_all_pairs",
+    "run_grid",
     "run_pair",
 ]

@@ -18,11 +18,11 @@ enforcement):
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Optional
 
 from repro.core.controller import FairnessController, FairnessParams
-from repro.engine.singlethread import run_single_thread
 from repro.engine.soe import SoeParams, run_soe
 from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.pairs import BenchmarkPair
@@ -88,50 +88,55 @@ def _run_one(
     )
 
 
+def _ablation_point(
+    spec: tuple[str, str, dict],
+    pair: BenchmarkPair,
+    config: EvalConfig,
+    fairness_target: float,
+    ipc_st: tuple[float, ...],
+) -> AblationPoint:
+    """One sweep point; module-level so the process pool can run it."""
+    knob, value_label, overrides = spec
+    ipc, fair, forced = _run_one(
+        pair, config, fairness_target, ipc_st, **overrides
+    )
+    return AblationPoint(knob, value_label, ipc, fair, forced)
+
+
 def run(
     pair: BenchmarkPair = BenchmarkPair("gcc", "eon"),
     config: EvalConfig = EvalConfig(),
     fairness_target: float = 0.5,
 ) -> AblationResult:
-    profiles = pair.profiles()
-    ipc_st = [
-        run_single_thread(
-            stream,
-            miss_lat=profile.single_thread_stall(config.miss_lat),
-            min_instructions=config.st_min_instructions,
-        ).ipc
-        for stream, profile in zip(pair.streams(seed=config.seed), profiles)
-    ]
-    points = []
+    from repro.experiments.runner import parallel_map, single_thread_ipcs
 
+    ipc_st = single_thread_ipcs(pair, config)
+
+    specs: list[tuple[str, str, dict]] = []
     for period in (25_000.0, 100_000.0, 250_000.0, 1_000_000.0):
-        ipc, fair, forced = _run_one(
-            pair, config, fairness_target, ipc_st, sample_period=period
-        )
-        points.append(AblationPoint("delta", f"{period:,.0f}", ipc, fair, forced))
-
+        specs.append(("delta", f"{period:,.0f}", {"sample_period": period}))
     for quota in (10_000.0, 50_000.0, 100_000.0):
-        ipc, fair, forced = _run_one(
-            pair, config, fairness_target, ipc_st, max_cycles_quota=quota
+        specs.append(
+            ("max_cycles_quota", f"{quota:,.0f}", {"max_cycles_quota": quota})
         )
-        points.append(
-            AblationPoint("max_cycles_quota", f"{quota:,.0f}", ipc, fair, forced)
-        )
-
-    for cap_label, cap in (("none", None), ("2x quota-ish", 10_000.0), ("tight", 2_000.0)):
-        ipc, fair, forced = _run_one(
-            pair, config, fairness_target, ipc_st, deficit_cap=cap
-        )
-        points.append(AblationPoint("deficit_cap", cap_label, ipc, fair, forced))
-
+    for cap_label, cap in (("none", None), ("2x quota-ish", 10_000.0),
+                           ("tight", 2_000.0)):
+        specs.append(("deficit_cap", cap_label, {"deficit_cap": cap}))
     for assumed in (150.0, 300.0, 600.0):
-        ipc, fair, forced = _run_one(
-            pair, config, fairness_target, ipc_st, assumed_miss_lat=assumed
-        )
-        points.append(
-            AblationPoint("assumed_miss_lat", f"{assumed:g}", ipc, fair, forced)
+        specs.append(
+            ("assumed_miss_lat", f"{assumed:g}", {"assumed_miss_lat": assumed})
         )
 
+    points = parallel_map(
+        functools.partial(
+            _ablation_point,
+            pair=pair,
+            config=config,
+            fairness_target=fairness_target,
+            ipc_st=ipc_st,
+        ),
+        specs,
+    )
     return AblationResult(
         pair_label=pair.label, fairness_target=fairness_target, points=points
     )

@@ -11,12 +11,11 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
-from repro.core.controller import FairnessController, FairnessParams
+from repro.core.controller import FairnessParams
 from repro.engine.results import SoeRunResult
-from repro.engine.singlethread import run_single_thread
-from repro.engine.soe import RunLimits, SoeParams, run_soe
+from repro.engine.soe import RunLimits, SoeParams
 from repro.errors import ConfigurationError
-from repro.workloads.pairs import BenchmarkPair, evaluation_pairs
+from repro.workloads.pairs import BenchmarkPair
 
 __all__ = [
     "EvalConfig",
@@ -110,47 +109,68 @@ class PairResult:
 
     @property
     def baseline(self) -> SoeRunResult:
+        if 0.0 not in self.runs:
+            raise ConfigurationError(
+                f"pair {self.pair.label} has no F=0 baseline run; "
+                "normalization needs fairness level 0 in the grid "
+                f"(levels present: {sorted(self.runs)})"
+            )
         return self.runs[0.0]
 
+    def _run_at(self, level: float) -> SoeRunResult:
+        if level not in self.runs:
+            raise ConfigurationError(
+                f"pair {self.pair.label} was not run at fairness level "
+                f"{level:g} (levels present: {sorted(self.runs)})"
+            )
+        return self.runs[level]
+
     def achieved_fairness(self, level: float) -> float:
-        return self.runs[level].achieved_fairness(self.ipc_st)
+        return self._run_at(level).achieved_fairness(self.ipc_st)
 
     def normalized_throughput(self, level: float) -> float:
-        return self.runs[level].total_ipc / self.baseline.total_ipc
+        baseline_ipc = self.baseline.total_ipc
+        if baseline_ipc <= 0.0:
+            raise ConfigurationError(
+                f"pair {self.pair.label} has an idle F=0 baseline "
+                "(total IPC is 0); throughput cannot be normalized -- "
+                "check the run limits and workload streams"
+            )
+        return self._run_at(level).total_ipc / baseline_ipc
 
 
 def run_pair(pair: BenchmarkPair, config: EvalConfig = EvalConfig()) -> PairResult:
     """Run one pair at every configured fairness level."""
-    profiles = pair.profiles()
-    ipc_st = tuple(
-        run_single_thread(
-            stream,
-            miss_lat=profile.single_thread_stall(config.miss_lat),
-            min_instructions=config.st_min_instructions,
-        ).ipc
-        for stream, profile in zip(pair.streams(seed=config.seed), profiles)
-    )
-    runs: dict[float, SoeRunResult] = {}
-    for level in config.fairness_levels:
-        streams = pair.streams(seed=config.seed)
-        if level > 0.0:
-            policy = FairnessController(len(streams), config.fairness_params(level))
-        else:
-            policy = None
-        runs[level] = run_soe(
-            streams, policy, config.soe_params(), config.run_limits()
-        )
-    return PairResult(pair=pair, ipc_st=ipc_st, runs=runs)
+    from repro.experiments import runner
+
+    return runner.compute_pair(pair, config)
 
 
 def run_all_pairs(
     config: EvalConfig = EvalConfig(),
     pairs: Optional[Sequence[BenchmarkPair]] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache_dir=None,
 ) -> list[PairResult]:
-    """Run the full evaluation grid (16 pairs by default)."""
-    if pairs is None:
-        pairs = evaluation_pairs()
-    return [run_pair(pair, config) for pair in pairs]
+    """Run the full evaluation grid (16 pairs by default).
+
+    Execution is delegated to :mod:`repro.experiments.runner`: the
+    ambient :class:`~repro.experiments.runner.ExecutionSettings`
+    (installed by the CLI's ``--jobs``/``--cache-dir``) govern process
+    count and result caching unless overridden by the explicit keyword
+    arguments. Results are bit-identical whatever the settings.
+    """
+    from dataclasses import replace
+
+    from repro.experiments import runner
+
+    settings = runner.current_settings()
+    if jobs is not None:
+        settings = replace(settings, jobs=jobs)
+    if cache_dir is not None:
+        settings = replace(settings, cache_dir=cache_dir)
+    return runner.run_grid(config, pairs=pairs, settings=settings).results
 
 
 def format_table(

@@ -27,7 +27,7 @@ from typing import Optional
 from repro.core.controller import FairnessController, FairnessParams
 from repro.engine.singlethread import run_single_thread
 from repro.engine.soe import RunLimits, SoeParams, run_soe
-from repro.experiments.common import format_table
+from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.events import EventType, mean_event_latency, multi_event_stream
 from repro.workloads.synthetic import uniform_stream
 
@@ -73,22 +73,34 @@ class EventsResult:
         return measured < wrong
 
 
-def _streams():
+def _streams(seed_base: int = 0):
     return [
-        multi_event_stream(MIXED_IPC, MIXED_EVENTS, seed=31, name="mixed-events"),
-        uniform_stream(PARTNER_IPC, PARTNER_IPM, ipm_cv=0.5, seed=32, name="partner"),
+        multi_event_stream(MIXED_IPC, MIXED_EVENTS, seed=seed_base + 31,
+                           name="mixed-events"),
+        uniform_stream(PARTNER_IPC, PARTNER_IPM, ipm_cv=0.5, seed=seed_base + 32,
+                       name="partner"),
     ]
 
 
 def run(
     fairness_target: float = 0.5,
-    min_instructions: float = 2_000_000.0,
-    warmup_instructions: float = 1_200_000.0,
+    min_instructions: Optional[float] = None,
+    warmup_instructions: Optional[float] = None,
+    config: Optional[EvalConfig] = None,
 ) -> EventsResult:
+    if min_instructions is None:
+        min_instructions = (
+            config.min_instructions if config is not None else 2_000_000.0
+        )
+    if warmup_instructions is None:
+        warmup_instructions = (
+            config.warmup_instructions if config is not None else 1_200_000.0
+        )
+    seed_base = 2 * config.seed if config is not None else 0
     params = SoeParams(miss_lat=300.0, switch_lat=25.0)
     ipc_st = [
         run_single_thread(stream, miss_lat=300.0, min_instructions=min_instructions).ipc
-        for stream in _streams()
+        for stream in _streams(seed_base)
     ]
     true_mean = mean_event_latency(MIXED_EVENTS)
     limits = RunLimits(
@@ -107,7 +119,7 @@ def run(
     rows = []
     for label, fairness_params in configurations:
         controller = FairnessController(2, fairness_params)
-        result = run_soe(_streams(), controller, params, limits)
+        result = run_soe(_streams(seed_base), controller, params, limits)
         measured = controller.measured_latencies
         rows.append(
             EventsRow(

@@ -15,9 +15,10 @@ paper's observations, all reproduced by this sweep:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.model import SoeModel, ThreadParams
-from repro.experiments.common import format_table
+from repro.experiments.common import EvalConfig, format_table
 from repro.metrics.ascii_chart import line_chart
 
 __all__ = ["Fig3Series", "Fig3Result", "run", "render", "PAPER_CASES"]
@@ -65,11 +66,20 @@ class Fig3Result:
 
 def run(
     cases=PAPER_CASES,
-    miss_lat: float = 300.0,
-    switch_lat: float = 25.0,
+    miss_lat: Optional[float] = None,
+    switch_lat: Optional[float] = None,
     steps: int = 21,
+    config: Optional[EvalConfig] = None,
 ) -> Fig3Result:
-    """Sweep F in [0, 1] for each case through the analytical model."""
+    """Sweep F in [0, 1] for each case through the analytical model.
+
+    The machine latencies default to ``config`` (the paper's 300/25
+    cycles when no configuration is given); explicit arguments win.
+    """
+    if miss_lat is None:
+        miss_lat = config.miss_lat if config is not None else 300.0
+    if switch_lat is None:
+        switch_lat = config.switch_lat if config is not None else 25.0
     targets = tuple(i / (steps - 1) for i in range(steps))
     series = []
     for ipcs, ipms in cases:

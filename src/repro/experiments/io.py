@@ -47,6 +47,12 @@ def result_to_jsonable(value: Any) -> Any:
 
 
 def write_json(result: Any, path: Union[str, pathlib.Path]) -> None:
-    """Write an experiment result to ``path`` as pretty-printed JSON."""
+    """Write an experiment result to ``path`` as pretty-printed JSON.
+
+    Missing parent directories are created, so artefact paths like
+    ``results/run1/fig7.json`` work without preparatory ``mkdir``.
+    """
     payload = result_to_jsonable(result)
-    pathlib.Path(path).write_text(json.dumps(payload, indent=2) + "\n")
+    target = pathlib.Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(payload, indent=2) + "\n")

@@ -1,0 +1,447 @@
+"""Parallel, cached execution layer for the experiment grids.
+
+Every headline figure consumes the same embarrassingly-parallel grid --
+benchmark pairs x fairness levels x seeds -- of pure-Python simulation,
+so this module supplies the three mechanisms that keep a paper-scale
+sweep from running serially from scratch every time:
+
+* :func:`parallel_map` fans independent simulation tasks out across a
+  ``multiprocessing`` pool and collects results **in task order**, so a
+  parallel run is bit-identical to a serial one (every task is a pure
+  function of an explicitly-seeded spec; nothing depends on completion
+  order).
+* :func:`run_grid` decomposes the pair grid into single-thread baseline
+  tasks and per-(pair, level) SOE tasks. Baseline runs are memoized per
+  ``(benchmark, stream seed, skip, latency, run length)``, so a
+  benchmark that appears in several pairs is simulated alone only once
+  -- the same measured-once-reused-everywhere structure that makes
+  LFOC-style fairness grids scale.
+* :class:`ResultCache` persists finished :class:`PairResult`\\ s to disk,
+  keyed by a content hash of ``(pair, EvalConfig, code version)``. The
+  code version is a digest of the simulator sources, so editing the
+  engine, the controller, or the workload generators invalidates every
+  stale entry automatically.
+
+Execution options (process count, cache directory) travel as ambient
+:class:`ExecutionSettings` rather than threading through every
+experiment signature: the CLI installs them once via :func:`execution`
+and every grid consumer picks them up.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import importlib
+import multiprocessing
+import os
+import pickle
+import tempfile
+from contextlib import contextmanager
+from dataclasses import dataclass, fields
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar, Union
+
+from repro.core.controller import FairnessController
+from repro.engine.singlethread import run_single_thread
+from repro.engine.soe import run_soe
+from repro.errors import ConfigurationError
+from repro.experiments.common import EvalConfig, PairResult
+from repro.workloads.pairs import BenchmarkPair, evaluation_pairs
+from repro.workloads.spec2000 import get_profile
+
+__all__ = [
+    "ExecutionSettings",
+    "CacheStats",
+    "GridOutcome",
+    "ResultCache",
+    "current_settings",
+    "set_execution",
+    "execution",
+    "parallel_map",
+    "single_thread_ipcs",
+    "compute_pair",
+    "run_grid",
+    "code_version",
+]
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Bump when the on-disk cache payload layout changes.
+CACHE_FORMAT = 1
+
+#: Modules whose source text determines simulation results. The cache
+#: key hashes their bytes, so touching any of them drops every cached
+#: grid entry (configuration and rendering modules are deliberately
+#: excluded -- they cannot change a PairResult).
+_CODE_VERSION_MODULES = (
+    "repro.core.controller",
+    "repro.core.fairness",
+    "repro.core.model",
+    "repro.core.policy",
+    "repro.engine.results",
+    "repro.engine.segments",
+    "repro.engine.singlethread",
+    "repro.engine.soe",
+    "repro.workloads.pairs",
+    "repro.workloads.profiles",
+    "repro.workloads.spec2000",
+    "repro.workloads.synthetic",
+    "repro.workloads.tracegen",
+)
+
+_CODE_VERSION: Optional[str] = None
+
+
+def code_version() -> str:
+    """Digest of the simulator sources (cached per process)."""
+    global _CODE_VERSION
+    if _CODE_VERSION is None:
+        digest = hashlib.sha256()
+        for name in _CODE_VERSION_MODULES:
+            module = importlib.import_module(name)
+            digest.update(Path(module.__file__).read_bytes())
+        _CODE_VERSION = digest.hexdigest()[:16]
+    return _CODE_VERSION
+
+
+@dataclass(frozen=True)
+class ExecutionSettings:
+    """How grid work is executed (not *what* is computed).
+
+    These knobs never influence results -- parallel and cached runs are
+    bit-identical to serial uncached ones -- so they are kept out of
+    :class:`EvalConfig` and out of the cache key.
+    """
+
+    jobs: int = 1
+    cache_dir: Optional[Path] = None
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError("jobs must be a positive process count")
+        if self.cache_dir is not None and not isinstance(self.cache_dir, Path):
+            object.__setattr__(self, "cache_dir", Path(self.cache_dir))
+
+
+_AMBIENT = ExecutionSettings()
+
+
+def current_settings() -> ExecutionSettings:
+    """The ambient execution settings (serial, uncached by default)."""
+    return _AMBIENT
+
+
+def set_execution(settings: ExecutionSettings) -> ExecutionSettings:
+    """Install new ambient settings; returns the previous ones."""
+    global _AMBIENT
+    previous = _AMBIENT
+    _AMBIENT = settings
+    return previous
+
+
+@contextmanager
+def execution(settings: ExecutionSettings) -> Iterator[ExecutionSettings]:
+    """Scope ambient execution settings to a ``with`` block."""
+    previous = set_execution(settings)
+    try:
+        yield settings
+    finally:
+        set_execution(previous)
+
+
+def parallel_map(
+    func: Callable[[T], R],
+    items: Iterable[T],
+    jobs: Optional[int] = None,
+) -> list[R]:
+    """Map ``func`` over ``items``, optionally across processes.
+
+    Results always come back in item order, so callers see identical
+    output whatever ``jobs`` is. ``func`` must be a module-level
+    callable (or a ``functools.partial`` of one) and every item a pure,
+    picklable task spec carrying its own seed -- the workers share no
+    state with the parent.
+    """
+    tasks = list(items)
+    if jobs is None:
+        jobs = current_settings().jobs
+    if jobs < 1:
+        raise ConfigurationError("jobs must be a positive process count")
+    if jobs == 1 or len(tasks) <= 1:
+        return [func(task) for task in tasks]
+    with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+        return pool.map(func, tasks, chunksize=1)
+
+
+# ---------------------------------------------------------------------------
+# Task decomposition: the grid is (ST baselines) + (pair x level SOE runs),
+# every task a pure function of its frozen spec.
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _StTask:
+    """One single-thread reference run (the memoization key)."""
+
+    benchmark: str
+    stream_seed: int
+    skip_instructions: float
+    miss_lat: float
+    min_instructions: float
+
+
+@dataclass(frozen=True)
+class _SoeTask:
+    """One multithreaded SOE run of a pair at one fairness level."""
+
+    pair: BenchmarkPair
+    level: float
+    config: EvalConfig
+
+
+def _st_tasks_for(pair: BenchmarkPair, config: EvalConfig) -> tuple[_StTask, ...]:
+    return tuple(
+        _StTask(
+            benchmark=benchmark,
+            stream_seed=stream_seed,
+            skip_instructions=skip,
+            miss_lat=config.miss_lat,
+            min_instructions=config.st_min_instructions,
+        )
+        for benchmark, stream_seed, skip in pair.stream_specs(config.seed)
+    )
+
+
+def _run_st_task(task: _StTask) -> float:
+    profile = get_profile(task.benchmark)
+    stream = profile.stream(
+        seed=task.stream_seed, skip_instructions=task.skip_instructions
+    )
+    return run_single_thread(
+        stream,
+        miss_lat=profile.single_thread_stall(task.miss_lat),
+        min_instructions=task.min_instructions,
+    ).ipc
+
+
+def _run_soe_task(task: _SoeTask):
+    config = task.config
+    streams = task.pair.streams(seed=config.seed)
+    if task.level > 0.0:
+        policy = FairnessController(
+            len(streams), config.fairness_params(task.level)
+        )
+    else:
+        policy = None
+    return run_soe(streams, policy, config.soe_params(), config.run_limits())
+
+
+def single_thread_ipcs(
+    pair: BenchmarkPair,
+    config: EvalConfig = EvalConfig(),
+    st_memo: Optional[dict] = None,
+) -> tuple[float, ...]:
+    """Measured single-thread IPC per thread of ``pair``.
+
+    ``st_memo`` (keyed by the single-thread task spec) lets callers
+    reuse baseline runs across pairs -- a benchmark appearing in
+    several pairs is simulated alone only once.
+    """
+    values = []
+    for task in _st_tasks_for(pair, config):
+        if st_memo is not None and task in st_memo:
+            values.append(st_memo[task])
+            continue
+        value = _run_st_task(task)
+        if st_memo is not None:
+            st_memo[task] = value
+        values.append(value)
+    return tuple(values)
+
+
+def compute_pair(
+    pair: BenchmarkPair,
+    config: EvalConfig = EvalConfig(),
+    st_memo: Optional[dict] = None,
+) -> PairResult:
+    """Run one pair at every configured fairness level.
+
+    The single source of truth for what a grid cell is: the serial
+    path, the process pool, and the cache loader all produce results
+    assembled from exactly these task functions.
+    """
+    ipc_st = single_thread_ipcs(pair, config, st_memo)
+    runs = {
+        level: _run_soe_task(_SoeTask(pair=pair, level=level, config=config))
+        for level in config.fairness_levels
+    }
+    return PairResult(pair=pair, ipc_st=ipc_st, runs=runs)
+
+
+# ---------------------------------------------------------------------------
+# On-disk result cache
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counts of one grid execution (zero when uncached)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class ResultCache:
+    """Content-addressed store of finished :class:`PairResult` objects.
+
+    The key hashes the pair, every :class:`EvalConfig` field, and
+    :func:`code_version`, so an entry can only ever be replayed for the
+    exact computation that produced it. Entries are pickled (floats
+    round-trip exactly, keeping cached results bit-identical) and
+    written atomically so concurrent runs sharing a directory never see
+    torn files; any unreadable or mismatched entry is treated as a
+    miss.
+    """
+
+    def __init__(self, directory: Union[str, Path]) -> None:
+        self.directory = Path(directory)
+
+    def key(self, pair: BenchmarkPair, config: EvalConfig) -> str:
+        fingerprint = (
+            "pair-grid",
+            CACHE_FORMAT,
+            code_version(),
+            pair.first,
+            pair.second,
+            tuple(
+                (field.name, repr(getattr(config, field.name)))
+                for field in fields(config)
+            ),
+        )
+        return hashlib.sha256(repr(fingerprint).encode()).hexdigest()[:32]
+
+    def path(self, pair: BenchmarkPair, config: EvalConfig) -> Path:
+        return self.directory / f"pair-{self.key(pair, config)}.pkl"
+
+    def load(self, pair: BenchmarkPair, config: EvalConfig) -> Optional[PairResult]:
+        # A cache read must never sink a run: pickle.load raises nearly
+        # arbitrary exceptions on corrupt bytes (ValueError, KeyError,
+        # UnpicklingError...), and every one of them just means "miss".
+        try:
+            with self.path(pair, config).open("rb") as handle:
+                payload = pickle.load(handle)
+        except Exception:
+            return None
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != CACHE_FORMAT
+            or not isinstance(payload.get("result"), PairResult)
+        ):
+            return None
+        return payload["result"]
+
+    def store(
+        self, pair: BenchmarkPair, config: EvalConfig, result: PairResult
+    ) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {"format": CACHE_FORMAT, "result": result}
+        handle = tempfile.NamedTemporaryFile(
+            dir=self.directory, suffix=".tmp", delete=False
+        )
+        try:
+            with handle:
+                pickle.dump(payload, handle)
+            os.replace(handle.name, self.path(pair, config))
+        except BaseException:
+            try:
+                os.unlink(handle.name)
+            except OSError:
+                pass
+            raise
+
+
+# ---------------------------------------------------------------------------
+# The grid runner
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class GridOutcome:
+    """Results of one grid execution plus its cache accounting."""
+
+    results: list[PairResult]
+    stats: CacheStats
+
+
+def run_grid(
+    config: EvalConfig = EvalConfig(),
+    pairs: Optional[Sequence[BenchmarkPair]] = None,
+    settings: Optional[ExecutionSettings] = None,
+) -> GridOutcome:
+    """Execute the pair/fairness grid under the given settings.
+
+    The decomposition is deterministic: unique single-thread tasks in
+    first-appearance order, then every (pair, level) SOE task in pair
+    order, then assembly back into :class:`PairResult` objects in the
+    caller's pair order. Because each task is a pure function of its
+    spec, the result is independent of ``jobs`` and of cache state.
+    """
+    if settings is None:
+        settings = current_settings()
+    pair_list = list(pairs) if pairs is not None else evaluation_pairs()
+    cache = (
+        ResultCache(settings.cache_dir) if settings.cache_dir is not None else None
+    )
+    stats = CacheStats()
+    results: dict[int, PairResult] = {}
+    pending: list[tuple[int, BenchmarkPair]] = []
+    for index, pair in enumerate(pair_list):
+        cached = cache.load(pair, config) if cache is not None else None
+        if cached is not None:
+            results[index] = cached
+            stats.hits += 1
+        else:
+            if cache is not None:
+                stats.misses += 1
+            pending.append((index, pair))
+
+    if pending:
+        st_tasks: dict[_StTask, None] = {}
+        for _, pair in pending:
+            for task in _st_tasks_for(pair, config):
+                st_tasks.setdefault(task)
+        st_order = list(st_tasks)
+        st_values = parallel_map(_run_st_task, st_order, jobs=settings.jobs)
+        st_memo = dict(zip(st_order, st_values))
+
+        soe_tasks = [
+            _SoeTask(pair=pair, level=level, config=config)
+            for _, pair in pending
+            for level in config.fairness_levels
+        ]
+        soe_values = parallel_map(_run_soe_task, soe_tasks, jobs=settings.jobs)
+        soe_iter = iter(soe_values)
+        for index, pair in pending:
+            runs = {level: next(soe_iter) for level in config.fairness_levels}
+            result = PairResult(
+                pair=pair,
+                ipc_st=tuple(
+                    st_memo[task] for task in _st_tasks_for(pair, config)
+                ),
+                runs=runs,
+            )
+            results[index] = result
+            if cache is not None:
+                cache.store(pair, config, result)
+
+    ordered = [results[index] for index in range(len(pair_list))]
+    return GridOutcome(results=ordered, stats=stats)

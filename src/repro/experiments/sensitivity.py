@@ -18,11 +18,12 @@ model and spot-checked against the segment engine:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.model import SoeModel, ThreadParams
 from repro.engine.soe import RunLimits, SoeParams, run_soe
 from repro.core.controller import FairnessController, FairnessParams
-from repro.experiments.common import format_table
+from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.synthetic import uniform_stream
 
 __all__ = ["SensitivityRow", "SensitivityResult", "run", "render"]
@@ -53,13 +54,23 @@ def _model(miss_lat: float, switch_lat: float) -> SoeModel:
     return SoeModel(list(THREADS), miss_lat=miss_lat, switch_lat=switch_lat)
 
 
-def _measure_cost(miss_lat: float, switch_lat: float) -> float:
+def _measure_cost(
+    spec: tuple[float, float, float, float, int],
+) -> float:
+    """Engine-measured F = 1 throughput cost for one latency point.
+
+    The spec carries every input (latencies, run lengths, stream seed
+    base), so the process pool can replay it deterministically.
+    """
+    miss_lat, switch_lat, min_instructions, warmup, seed_base = spec
     params = SoeParams(miss_lat=miss_lat, switch_lat=switch_lat)
     streams = lambda: [
-        uniform_stream(2.5, 15_000, seed=1),
-        uniform_stream(2.5, 1_000, seed=2),
+        uniform_stream(2.5, 15_000, seed=seed_base + 1),
+        uniform_stream(2.5, 1_000, seed=seed_base + 2),
     ]
-    limits = RunLimits(min_instructions=1_000_000, warmup_instructions=700_000)
+    limits = RunLimits(
+        min_instructions=min_instructions, warmup_instructions=warmup
+    )
     base = run_soe(streams(), None, params, limits)
     controller = FairnessController(
         2, FairnessParams(fairness_target=1.0, miss_lat=miss_lat)
@@ -72,34 +83,52 @@ def run(
     miss_latencies=(75.0, 150.0, 300.0, 600.0, 1_200.0, 2_000.0),
     switch_latencies=(5.0, 10.0, 25.0, 50.0, 100.0),
     spot_check=(300.0,),
+    config: Optional[EvalConfig] = None,
 ) -> SensitivityResult:
+    from repro.experiments.runner import parallel_map
+
+    if config is not None:
+        min_instructions = config.min_instructions
+        warmup = config.warmup_instructions
+        seed_base = 2 * config.seed
+    else:
+        min_instructions, warmup, seed_base = 1_000_000.0, 700_000.0, 0
+
+    # The engine spot-checks are the expensive part; fan them out and
+    # join them back by latency point.
+    miss_points = [lat for lat in miss_latencies if lat in spot_check]
+    switch_points = [lat for lat in switch_latencies if lat in (25.0,)]
+    specs = [
+        (lat, 25.0, min_instructions, warmup, seed_base) for lat in miss_points
+    ] + [
+        (300.0, lat, min_instructions, warmup, seed_base)
+        for lat in switch_points
+    ]
+    costs = parallel_map(_measure_cost, specs)
+    measured = dict(zip([("miss_lat", lat) for lat in miss_points]
+                        + [("switch_lat", lat) for lat in switch_points], costs))
+
     rows = []
     for latency in miss_latencies:
         model = _model(latency, 25.0)
-        measured = (
-            _measure_cost(latency, 25.0) if latency in spot_check else None
-        )
         rows.append(
             SensitivityRow(
                 parameter="miss_lat",
                 value=latency,
                 unenforced_fairness=model.fairness(0.0),
                 f1_throughput_cost=-model.throughput_change(1.0),
-                measured_cost=measured,
+                measured_cost=measured.get(("miss_lat", latency)),
             )
         )
     for latency in switch_latencies:
         model = _model(300.0, latency)
-        measured = (
-            _measure_cost(300.0, latency) if latency in (25.0,) else None
-        )
         rows.append(
             SensitivityRow(
                 parameter="switch_lat",
                 value=latency,
                 unenforced_fairness=model.fairness(0.0),
                 f1_throughput_cost=-model.throughput_change(1.0),
-                measured_cost=measured,
+                measured_cost=measured.get(("switch_lat", latency)),
             )
         )
     return SensitivityResult(rows=rows)

@@ -11,7 +11,7 @@ the unfair-run fraction, and the truncated achieved-fairness means.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Sequence
+from typing import Optional, Sequence
 
 from repro.experiments.common import EvalConfig, format_table, run_all_pairs
 from repro.experiments.fig6 import Fig6Result
@@ -58,11 +58,19 @@ class StabilityResult:
 def run(
     seeds: Sequence[int] = (0, 1, 2),
     config: EvalConfig = EvalConfig(),
+    jobs: Optional[int] = None,
 ) -> StabilityResult:
+    """Rerun the grid under each seed.
+
+    Per-seed grids execute through :mod:`repro.experiments.runner`, so
+    the ambient ``--jobs``/``--cache-dir`` settings apply: each seed's
+    16 pairs fan out across the process pool, and a repeated sweep
+    replays cached pair results (the seed is part of the cache key).
+    """
     outcomes = []
     for seed in seeds:
         seeded = replace(config, seed=seed)
-        grid = run_all_pairs(seeded)
+        grid = run_all_pairs(seeded, jobs=jobs)
         fig6 = Fig6Result(pairs=grid, fairness_levels=seeded.fairness_levels)
         fig7 = Fig7Result(pairs=grid, fairness_levels=seeded.fairness_levels)
         ordered = sorted(grid, key=lambda p: p.achieved_fairness(0.0))

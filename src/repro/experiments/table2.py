@@ -16,12 +16,13 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.controller import FairnessController, FairnessParams
 from repro.core.model import SoeModel, ThreadParams
 from repro.engine.singlethread import run_single_thread
 from repro.engine.soe import RunLimits, SoeParams, run_soe
-from repro.experiments.common import format_table
+from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.synthetic import uniform_stream
 
 __all__ = ["Table2Row", "Table2Result", "run", "render"]
@@ -89,10 +90,12 @@ def _streams(seed_base: int = 0):
     ]
 
 
-def _simulated_rows(min_instructions: float, warmup: float) -> list[Table2Row]:
+def _simulated_rows(
+    min_instructions: float, warmup: float, seed_base: int = 0
+) -> list[Table2Row]:
     st = [
         run_single_thread(s, miss_lat=MISS_LAT, min_instructions=min_instructions).ipc
-        for s in _streams()
+        for s in _streams(seed_base)
     ]
     rows = []
     params = SoeParams(miss_lat=MISS_LAT, switch_lat=SWITCH_LAT)
@@ -106,7 +109,7 @@ def _simulated_rows(min_instructions: float, warmup: float) -> list[Table2Row]:
             controller = None
             quota_source = None
         result = run_soe(
-            _streams(),
+            _streams(seed_base),
             controller,
             params,
             RunLimits(min_instructions=min_instructions, warmup_instructions=warmup),
@@ -117,11 +120,29 @@ def _simulated_rows(min_instructions: float, warmup: float) -> list[Table2Row]:
     return rows
 
 
-def run(min_instructions: float = 1_500_000.0, warmup: float = 1_000_000.0) -> Table2Result:
-    """Compute Table 2 analytically and by simulation."""
+def run(
+    min_instructions: Optional[float] = None,
+    warmup: Optional[float] = None,
+    config: Optional[EvalConfig] = None,
+) -> Table2Result:
+    """Compute Table 2 analytically and by simulation.
+
+    Run lengths and the stream seed come from ``config`` when given
+    (Example 2's machine constants stay fixed -- they define the
+    example); explicit arguments win over the configuration.
+    """
+    if min_instructions is None:
+        min_instructions = (
+            config.min_instructions if config is not None else 1_500_000.0
+        )
+    if warmup is None:
+        warmup = (
+            config.warmup_instructions if config is not None else 1_000_000.0
+        )
+    seed_base = 2 * config.seed if config is not None else 0
     return Table2Result(
         analytical=_model_rows(),
-        simulated=_simulated_rows(min_instructions, warmup),
+        simulated=_simulated_rows(min_instructions, warmup, seed_base),
     )
 
 

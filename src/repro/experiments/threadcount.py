@@ -16,11 +16,12 @@ thread to make the fairness problem appear.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.controller import FairnessController, FairnessParams
 from repro.engine.singlethread import run_single_thread
 from repro.engine.soe import RunLimits, SoeParams, run_soe
-from repro.experiments.common import format_table
+from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.synthetic import uniform_stream
 
 __all__ = ["ThreadCountRow", "ThreadCountResult", "run", "render"]
@@ -62,31 +63,41 @@ class ThreadCountResult:
         return self.rows[-1].num_threads  # pragma: no cover
 
 
-def _memory_streams(num_threads: int):
+def _memory_streams(num_threads: int, seed_base: int = 0):
     """Pure memory-bound mix: the regime where thread count pays off."""
     return [
-        uniform_stream(MEMORY_IPC, MEMORY_IPM, ipm_cv=0.4, seed=50 + index,
-                       name=f"memory{index}")
+        uniform_stream(MEMORY_IPC, MEMORY_IPM, ipm_cv=0.4,
+                       seed=seed_base + 50 + index, name=f"memory{index}")
         for index in range(num_threads)
     ]
 
 
-def _mixed_streams(num_threads: int):
+def _mixed_streams(num_threads: int, seed_base: int = 0):
     """One compute thread + N-1 memory threads: the fairness stressor."""
     streams = [
-        uniform_stream(COMPUTE_IPC, COMPUTE_IPM, ipm_cv=0.5, seed=41,
-                       name="compute"),
+        uniform_stream(COMPUTE_IPC, COMPUTE_IPM, ipm_cv=0.5,
+                       seed=seed_base + 41, name="compute"),
     ]
-    streams.extend(_memory_streams(num_threads - 1))
+    streams.extend(_memory_streams(num_threads - 1, seed_base))
     return streams
 
 
 def run(
     thread_counts=(2, 3, 4, 5, 6),
     fairness_target: float = 0.5,
-    min_instructions: float = 800_000.0,
-    warmup_instructions: float = 600_000.0,
+    min_instructions: Optional[float] = None,
+    warmup_instructions: Optional[float] = None,
+    config: Optional[EvalConfig] = None,
 ) -> ThreadCountResult:
+    if min_instructions is None:
+        min_instructions = (
+            config.min_instructions if config is not None else 800_000.0
+        )
+    if warmup_instructions is None:
+        warmup_instructions = (
+            config.warmup_instructions if config is not None else 600_000.0
+        )
+    seed_base = 2 * config.seed if config is not None else 0
     params = SoeParams()
     limits = RunLimits(
         min_instructions=min_instructions,
@@ -95,18 +106,24 @@ def run(
     rows = []
     for count in thread_counts:
         # Throughput scaling on the homogeneous memory-bound mix.
-        throughput_run = run_soe(_memory_streams(count), None, params, limits)
+        throughput_run = run_soe(
+            _memory_streams(count, seed_base), None, params, limits
+        )
 
         # Fairness behaviour on the heterogeneous mix.
         ipc_st = [
             run_single_thread(s, params.miss_lat, min_instructions=min_instructions).ipc
-            for s in _mixed_streams(count)
+            for s in _mixed_streams(count, seed_base)
         ]
-        unenforced = run_soe(_mixed_streams(count), None, params, limits)
+        unenforced = run_soe(
+            _mixed_streams(count, seed_base), None, params, limits
+        )
         controller = FairnessController(
             count, FairnessParams(fairness_target=fairness_target)
         )
-        enforced = run_soe(_mixed_streams(count), controller, params, limits)
+        enforced = run_soe(
+            _mixed_streams(count, seed_base), controller, params, limits
+        )
         rows.append(
             ThreadCountRow(
                 num_threads=count,

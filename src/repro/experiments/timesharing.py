@@ -12,12 +12,13 @@ quota and compares against the fairness-enforced run.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.controller import FairnessController, FairnessParams
 from repro.core.policy import TimeSharingPolicy
 from repro.engine.singlethread import run_single_thread
 from repro.engine.soe import RunLimits, SoeParams, run_soe
-from repro.experiments.common import format_table
+from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.synthetic import uniform_stream
 
 __all__ = ["TimeSharingPoint", "TimeSharingResult", "run", "render"]
@@ -53,26 +54,35 @@ class TimeSharingResult:
         return fairest.total_ipc <= fastest.total_ipc
 
 
-def _streams():
+def _streams(seed_base: int = 0):
     return [
-        uniform_stream(IPC_NO_MISS, IPM[0], seed=1),
-        uniform_stream(IPC_NO_MISS, IPM[1], seed=2),
+        uniform_stream(IPC_NO_MISS, IPM[0], seed=seed_base + 1),
+        uniform_stream(IPC_NO_MISS, IPM[1], seed=seed_base + 2),
     ]
 
 
 def run(
     quotas=(100.0, 200.0, 400.0, 1_000.0, 4_000.0, 16_000.0),
-    min_instructions: float = 1_000_000.0,
+    min_instructions: Optional[float] = None,
+    config: Optional[EvalConfig] = None,
 ) -> TimeSharingResult:
+    if min_instructions is None:
+        min_instructions = (
+            config.min_instructions if config is not None else 1_000_000.0
+        )
+    enforced_warmup = (
+        config.warmup_instructions if config is not None else 500_000.0
+    )
+    seed_base = 2 * config.seed if config is not None else 0
     params = SoeParams(miss_lat=MISS_LAT, switch_lat=SWITCH_LAT)
     ipc_st = [
         run_single_thread(s, MISS_LAT, min_instructions=min_instructions).ipc
-        for s in _streams()
+        for s in _streams(seed_base)
     ]
     points = []
     for quota in quotas:
         result = run_soe(
-            _streams(),
+            _streams(seed_base),
             TimeSharingPolicy(quota),
             params,
             RunLimits(min_instructions=min_instructions),
@@ -91,11 +101,12 @@ def run(
         2, FairnessParams(fairness_target=1.0, miss_lat=MISS_LAT)
     )
     enforced = run_soe(
-        _streams(),
+        _streams(seed_base),
         controller,
         params,
         RunLimits(
-            min_instructions=min_instructions, warmup_instructions=500_000.0
+            min_instructions=min_instructions,
+            warmup_instructions=enforced_warmup,
         ),
     )
     return TimeSharingResult(

@@ -20,10 +20,11 @@ the cycle-level simulator is orders of magnitude slower.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.model import SoeModel, ThreadParams
 from repro.engine.soe import RunLimits, SoeParams, run_soe
-from repro.experiments.common import format_table
+from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.synthetic import uniform_stream
 
 __all__ = ["ValidationCase", "ValidationResult", "run", "render"]
@@ -81,11 +82,21 @@ CASES = (
 
 
 def run(
-    miss_lat: float = 300.0,
-    switch_lat: float = 25.0,
-    min_instructions: float = 500_000.0,
+    miss_lat: Optional[float] = None,
+    switch_lat: Optional[float] = None,
+    min_instructions: Optional[float] = None,
     include_cpu: bool = False,
+    config: Optional[EvalConfig] = None,
 ) -> ValidationResult:
+    if miss_lat is None:
+        miss_lat = config.miss_lat if config is not None else 300.0
+    if switch_lat is None:
+        switch_lat = config.switch_lat if config is not None else 25.0
+    if min_instructions is None:
+        min_instructions = (
+            config.st_min_instructions if config is not None else 500_000.0
+        )
+    seed_base = 2 * config.seed if config is not None else 0
     params = SoeParams(miss_lat=miss_lat, switch_lat=switch_lat)
     cases = []
     for label, (ipc1, ipm1), (ipc2, ipm2) in CASES:
@@ -95,8 +106,8 @@ def run(
             switch_lat=switch_lat,
         )
         streams = [
-            uniform_stream(ipc1, ipm1, seed=1),
-            uniform_stream(ipc2, ipm2, seed=2),
+            uniform_stream(ipc1, ipm1, seed=seed_base + 1),
+            uniform_stream(ipc2, ipm2, seed=seed_base + 2),
         ]
         result = run_soe(
             streams, params=params, limits=RunLimits(min_instructions=min_instructions)

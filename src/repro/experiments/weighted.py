@@ -14,12 +14,13 @@ the targets.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Optional
 
 from repro.core.controller import FairnessController, FairnessParams
 from repro.core.fairness import weighted_fairness
 from repro.engine.singlethread import run_single_thread
 from repro.engine.soe import RunLimits, SoeParams, run_soe
-from repro.experiments.common import format_table
+from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.synthetic import uniform_stream
 
 __all__ = ["WeightedRow", "WeightedResult", "run", "render"]
@@ -54,23 +55,33 @@ class WeightedResult:
     rows: list[WeightedRow]
 
 
-def _streams():
+def _streams(seed_base: int = 0):
     return [
-        uniform_stream(IPC_NO_MISS, IPM[0], seed=1),
-        uniform_stream(IPC_NO_MISS, IPM[1], seed=2),
+        uniform_stream(IPC_NO_MISS, IPM[0], seed=seed_base + 1),
+        uniform_stream(IPC_NO_MISS, IPM[1], seed=seed_base + 2),
     ]
 
 
 def run(
     weight_ratios=((1.0, 1.0), (2.0, 1.0), (4.0, 1.0), (1.0, 2.0)),
     fairness_target: float = 1.0,
-    min_instructions: float = 1_500_000.0,
-    warmup_instructions: float = 1_000_000.0,
+    min_instructions: Optional[float] = None,
+    warmup_instructions: Optional[float] = None,
+    config: Optional[EvalConfig] = None,
 ) -> WeightedResult:
+    if min_instructions is None:
+        min_instructions = (
+            config.min_instructions if config is not None else 1_500_000.0
+        )
+    if warmup_instructions is None:
+        warmup_instructions = (
+            config.warmup_instructions if config is not None else 1_000_000.0
+        )
+    seed_base = 2 * config.seed if config is not None else 0
     params = SoeParams()
     ipc_st = [
         run_single_thread(s, params.miss_lat, min_instructions=min_instructions).ipc
-        for s in _streams()
+        for s in _streams(seed_base)
     ]
     limits = RunLimits(
         min_instructions=min_instructions, warmup_instructions=warmup_instructions
@@ -81,7 +92,7 @@ def run(
             2,
             FairnessParams(fairness_target=fairness_target, weights=tuple(weights)),
         )
-        result = run_soe(_streams(), controller, params, limits)
+        result = run_soe(_streams(seed_base), controller, params, limits)
         rows.append(
             WeightedRow(
                 weights=tuple(weights),

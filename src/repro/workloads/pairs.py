@@ -43,6 +43,21 @@ class BenchmarkPair:
     def profiles(self) -> tuple[BenchmarkProfile, BenchmarkProfile]:
         return get_profile(self.first), get_profile(self.second)
 
+    def stream_specs(
+        self, seed: int = 0
+    ) -> tuple[tuple[str, int, float], tuple[str, int, float]]:
+        """``(benchmark, stream seed, skip)`` per thread.
+
+        Exactly the parameters :meth:`streams` passes to the profile
+        generators, exposed so execution layers can key single-thread
+        memoization on them without duplicating the seed derivation.
+        """
+        skip = SAME_BENCHMARK_OFFSET if self.is_homogeneous else 0.0
+        return (
+            (self.first, seed * 2 + 1, 0.0),
+            (self.second, seed * 2 + 2, skip),
+        )
+
     def streams(self, seed: int = 0) -> tuple[SegmentStream, SegmentStream]:
         """Deterministic streams for the two threads.
 
@@ -50,11 +65,11 @@ class BenchmarkPair:
         same-benchmark pair additionally offsets the second thread by
         :data:`SAME_BENCHMARK_OFFSET` instructions, as in the paper.
         """
-        a, b = self.profiles()
-        skip = SAME_BENCHMARK_OFFSET if self.is_homogeneous else 0.0
-        return (
-            a.stream(seed=seed * 2 + 1),
-            b.stream(seed=seed * 2 + 2, skip_instructions=skip),
+        return tuple(
+            get_profile(benchmark).stream(
+                seed=stream_seed, skip_instructions=skip
+            )
+            for benchmark, stream_seed, skip in self.stream_specs(seed)
         )
 
 

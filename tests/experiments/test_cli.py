@@ -1,7 +1,11 @@
 """Tests for the command-line interface."""
 
+import inspect
+import json
+
 import pytest
 
+import repro.cli as cli
 from repro.cli import build_parser, main
 from repro.errors import ConfigurationError
 from repro.experiments.registry import experiment_ids, get_experiment
@@ -50,3 +54,157 @@ class TestCli:
     def test_unknown_experiment_propagates(self):
         with pytest.raises(ConfigurationError):
             main(["fig99"])
+
+    def test_parser_runner_defaults(self):
+        args = build_parser().parse_args(["fig3"])
+        assert args.jobs == 1
+        assert args.cache_dir is None
+        assert not args.no_cache
+
+
+class TestConfigPlumbing:
+    """Regression: no experiment may silently ignore --scale/--seed.
+
+    The old CLI passed ``config=`` only to a hard-coded allowlist; any
+    experiment outside it ran at its built-in scale whatever the flags
+    said. Now every registered run() must accept the keyword and the
+    CLI passes it unconditionally.
+    """
+
+    def test_every_registered_run_accepts_config(self):
+        for experiment_id in experiment_ids():
+            run = get_experiment(experiment_id).run
+            parameters = inspect.signature(run).parameters
+            assert "config" in parameters, (
+                f"{experiment_id}.run() does not accept config= -- the "
+                "CLI would silently drop --scale/--seed for it"
+            )
+
+    def test_config_reaches_formerly_ignored_experiments(self, monkeypatch):
+        received = {}
+
+        def probe(experiment_id):
+            def run(config=None):
+                received[experiment_id] = config
+                return ()
+
+            return run
+
+        from repro.experiments import registry
+        from repro.experiments.registry import Experiment
+
+        fake = Experiment("fake-probe", "probe", "none",
+                          probe("fake-probe"), lambda result: "rendered")
+        monkeypatch.setitem(registry._experiments(), "fake-probe", fake)
+        assert main(["fake-probe", "--scale", "quick", "--seed", "7"]) == 0
+        config = received["fake-probe"]
+        assert config is not None
+        assert config.seed == 7
+        assert config.min_instructions == 400_000.0  # the quick preset
+
+    def test_seed_changes_events_streams(self):
+        # events draws randomized streams (ipm_cv > 0), so honoring
+        # config.seed must change the measured numbers.
+        import dataclasses
+
+        from repro.experiments import events
+        from repro.experiments.common import EvalConfig
+
+        quick = EvalConfig.quick()
+        seeded = events.run(config=quick)
+        reseeded = events.run(config=dataclasses.replace(quick, seed=3))
+        assert seeded.rows[0].total_ipc != reseeded.rows[0].total_ipc
+
+    def test_scale_changes_timesharing_run_length(self):
+        from repro.experiments import timesharing
+        from repro.experiments.common import EvalConfig
+
+        quick = timesharing.run(quotas=(400.0,), config=EvalConfig.quick())
+        legacy = timesharing.run(quotas=(400.0,))
+        # Same deterministic workload, different measured windows: the
+        # config's run length must actually be applied.
+        assert quick.points[0].total_ipc != legacy.points[0].total_ipc \
+            or quick.enforced_ipc != legacy.enforced_ipc
+
+
+class TestJsonHandling:
+    """Regression: --json used to be silently dropped for 'all'."""
+
+    @pytest.fixture()
+    def fake_world(self, monkeypatch):
+        import dataclasses
+
+        @dataclasses.dataclass(frozen=True)
+        class FakeResult:
+            experiment_id: str
+            value: float = 1.5
+
+        def fake_run_one(experiment_id, config):
+            return FakeResult(experiment_id), f"text for {experiment_id}"
+
+        def fake_run_grid(config):
+            results = {fig: FakeResult(fig) for fig in cli._GRID}
+            return results, [f"text for {fig}" for fig in cli._GRID]
+
+        monkeypatch.setattr(cli, "_run_one", fake_run_one)
+        monkeypatch.setattr(cli, "_run_grid", fake_run_grid)
+
+    def test_all_writes_combined_json(self, fake_world, tmp_path, capsys):
+        target = tmp_path / "nested" / "all.json"
+        assert main(["all", "--scale", "quick", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert payload["scale"] == "quick"
+        assert payload["seed"] == 0
+        expected = set(cli._ALL_BEFORE_GRID) | set(cli._GRID) | \
+            set(cli._ALL_AFTER_GRID)
+        assert set(payload["experiments"]) == expected
+        assert payload["experiments"]["fig6"]["value"] == 1.5
+
+    def test_all_output_creates_parent_dirs(self, fake_world, tmp_path, capsys):
+        target = tmp_path / "deep" / "dir" / "all.txt"
+        assert main(["all", "--output", str(target)]) == 0
+        assert "text for table2" in target.read_text()
+
+    def test_single_json_creates_parent_dirs(self, tmp_path, capsys):
+        target = tmp_path / "a" / "b" / "fig3.json"
+        assert main(["fig3", "--json", str(target)]) == 0
+        payload = json.loads(target.read_text())
+        assert "series" in payload
+
+
+class TestRunnerFlags:
+    def test_jobs_flag_installs_settings(self, monkeypatch, capsys):
+        from repro.experiments import registry, runner
+        from repro.experiments.registry import Experiment
+
+        seen = {}
+
+        def run(config=None):
+            seen["settings"] = runner.current_settings()
+            return ()
+
+        fake = Experiment("fake-settings", "probe", "none",
+                          run, lambda result: "rendered")
+        monkeypatch.setitem(registry._experiments(), "fake-settings", fake)
+        assert main(["fake-settings", "--jobs", "3",
+                     "--cache-dir", "/tmp/some-cache"]) == 0
+        assert seen["settings"].jobs == 3
+        assert str(seen["settings"].cache_dir) == "/tmp/some-cache"
+        assert runner.current_settings().jobs == 1  # restored afterwards
+
+    def test_no_cache_disables_cache_dir(self, monkeypatch, capsys):
+        from repro.experiments import registry, runner
+        from repro.experiments.registry import Experiment
+
+        seen = {}
+
+        def run(config=None):
+            seen["settings"] = runner.current_settings()
+            return ()
+
+        fake = Experiment("fake-nocache", "probe", "none",
+                          run, lambda result: "rendered")
+        monkeypatch.setitem(registry._experiments(), "fake-nocache", fake)
+        assert main(["fake-nocache", "--cache-dir", "/tmp/x",
+                     "--no-cache"]) == 0
+        assert seen["settings"].cache_dir is None

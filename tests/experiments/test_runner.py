@@ -1,0 +1,205 @@
+"""Tests for the parallel, cached experiment-grid runner.
+
+The load-bearing property is bit-identity: whatever the job count and
+whatever the cache state, a grid execution must return exactly the
+results of a serial from-scratch run. Everything else (memoization,
+cache stats, settings plumbing) is checked around that invariant.
+"""
+
+import pickle
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import runner
+from repro.experiments.common import EvalConfig, PairResult, run_all_pairs
+from repro.experiments.runner import (
+    CacheStats,
+    ExecutionSettings,
+    ResultCache,
+    compute_pair,
+    execution,
+    parallel_map,
+    run_grid,
+    single_thread_ipcs,
+)
+from repro.engine.results import SoeRunResult, ThreadStats
+from repro.workloads.pairs import BenchmarkPair
+
+#: A subset that exercises memoization: gcc appears in three pairs (in
+#: both thread positions) and one pair is homogeneous (offset stream).
+PAIRS = (
+    BenchmarkPair("gcc", "gcc"),
+    BenchmarkPair("gcc", "eon"),
+    BenchmarkPair("galgel", "gcc"),
+    BenchmarkPair("lucas", "applu"),
+)
+
+
+@pytest.fixture(scope="module")
+def config():
+    return EvalConfig.quick()
+
+
+@pytest.fixture(scope="module")
+def serial_grid(config):
+    return run_all_pairs(config, PAIRS)
+
+
+def _square(value):
+    return value * value
+
+
+class TestParallelMap:
+    def test_serial_and_parallel_agree_in_order(self):
+        items = list(range(20))
+        assert parallel_map(_square, items, jobs=1) == [v * v for v in items]
+        assert parallel_map(_square, items, jobs=3) == [v * v for v in items]
+
+    def test_invalid_jobs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallel_map(_square, [1, 2], jobs=0)
+
+    def test_uses_ambient_settings(self):
+        with execution(ExecutionSettings(jobs=2)):
+            assert runner.current_settings().jobs == 2
+            assert parallel_map(_square, [1, 2, 3]) == [1, 4, 9]
+        assert runner.current_settings().jobs == 1
+
+
+class TestExecutionSettings:
+    def test_rejects_nonpositive_jobs(self):
+        with pytest.raises(ConfigurationError):
+            ExecutionSettings(jobs=0)
+
+    def test_coerces_cache_dir_to_path(self, tmp_path):
+        settings = ExecutionSettings(cache_dir=str(tmp_path))
+        assert settings.cache_dir == tmp_path
+
+    def test_context_restores_previous(self):
+        before = runner.current_settings()
+        with execution(ExecutionSettings(jobs=4)):
+            pass
+        assert runner.current_settings() is before
+
+
+class TestEquivalence:
+    def test_parallel_grid_is_bit_identical_to_serial(self, config, serial_grid):
+        parallel = run_all_pairs(config, PAIRS, jobs=4)
+        assert parallel == serial_grid
+        for serial_pair, parallel_pair in zip(serial_grid, parallel):
+            assert serial_pair.ipc_st == parallel_pair.ipc_st
+            for level in config.fairness_levels:
+                serial_run = serial_pair.runs[level]
+                parallel_run = parallel_pair.runs[level]
+                assert serial_run.ipcs == parallel_run.ipcs
+                assert serial_run.total_switches == parallel_run.total_switches
+                assert serial_pair.achieved_fairness(level) == \
+                    parallel_pair.achieved_fairness(level)
+
+    def test_cached_rerun_is_bit_identical(self, config, serial_grid, tmp_path):
+        first = run_grid(config, PAIRS,
+                         ExecutionSettings(jobs=2, cache_dir=tmp_path))
+        second = run_grid(config, PAIRS,
+                          ExecutionSettings(jobs=1, cache_dir=tmp_path))
+        assert first.results == serial_grid
+        assert second.results == serial_grid
+        assert first.stats.hits == 0 and first.stats.misses == len(PAIRS)
+        assert second.stats.hits == len(PAIRS) and second.stats.misses == 0
+        assert second.stats.hit_rate == 1.0
+
+    def test_compute_pair_matches_grid_cell(self, config, serial_grid):
+        assert compute_pair(PAIRS[1], config) == serial_grid[1]
+
+
+class TestBaselineMemoization:
+    def test_shared_benchmarks_simulated_once(self, config):
+        memo = {}
+        for pair in PAIRS:
+            single_thread_ipcs(pair, config, st_memo=memo)
+        # 8 thread slots, but gcc@seed1 is shared by gcc:gcc and
+        # gcc:eon, so only 7 distinct single-thread runs happen.
+        assert len(memo) == 7
+
+    def test_memoized_values_are_reused_not_recomputed(self, config):
+        memo = {}
+        first = single_thread_ipcs(PAIRS[0], config, st_memo=memo)
+        poisoned = {task: -1.0 for task in memo}
+        assert single_thread_ipcs(PAIRS[0], config, st_memo=poisoned) == \
+            (-1.0, -1.0)
+        assert first == single_thread_ipcs(PAIRS[0], config)
+
+
+class TestResultCache:
+    def test_key_depends_on_config_and_pair(self, config, tmp_path):
+        cache = ResultCache(tmp_path)
+        from dataclasses import replace
+
+        assert cache.key(PAIRS[0], config) != cache.key(PAIRS[1], config)
+        assert cache.key(PAIRS[0], config) != \
+            cache.key(PAIRS[0], replace(config, seed=1))
+        assert cache.key(PAIRS[0], config) == cache.key(PAIRS[0], config)
+
+    def test_corrupt_entry_is_a_miss(self, config, serial_grid, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(PAIRS[0], config, serial_grid[0])
+        assert cache.load(PAIRS[0], config) == serial_grid[0]
+        cache.path(PAIRS[0], config).write_bytes(b"not a pickle")
+        assert cache.load(PAIRS[0], config) is None
+        # pickle.load raises ValueError (not UnpicklingError) on this
+        # one -- any corruption whatsoever must read as a miss.
+        cache.path(PAIRS[0], config).write_bytes(b"garbage\n")
+        assert cache.load(PAIRS[0], config) is None
+
+    def test_foreign_payload_is_a_miss(self, config, tmp_path):
+        cache = ResultCache(tmp_path)
+        path = cache.path(PAIRS[0], config)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(pickle.dumps({"format": 999, "result": "nope"}))
+        assert cache.load(PAIRS[0], config) is None
+
+    def test_missing_directory_is_all_misses(self, config, tmp_path):
+        outcome = run_grid(
+            config, PAIRS[:1],
+            ExecutionSettings(cache_dir=tmp_path / "never-created" / "deep"),
+        )
+        assert outcome.stats == CacheStats(hits=0, misses=1)
+
+    def test_code_version_is_stable_hex(self):
+        assert runner.code_version() == runner.code_version()
+        int(runner.code_version(), 16)
+
+
+class TestPairResultErrors:
+    """Regression: missing/idle baselines raise descriptive errors."""
+
+    def _run(self, retired: float) -> SoeRunResult:
+        stats = ThreadStats(retired=retired, run_cycles=500.0, misses=1,
+                            miss_switches=1, forced_switches=0,
+                            cycle_quota_switches=0)
+        return SoeRunResult(cycles=1000.0, threads=(stats, stats),
+                            idle_cycles=0.0, switch_overhead_cycles=0.0)
+
+    def test_missing_baseline_is_configuration_error(self):
+        result = PairResult(pair=PAIRS[1], ipc_st=(1.0, 1.0),
+                            runs={0.5: self._run(100.0)})
+        with pytest.raises(ConfigurationError, match="no F=0 baseline"):
+            result.normalized_throughput(0.5)
+        with pytest.raises(ConfigurationError, match="no F=0 baseline"):
+            _ = result.baseline
+
+    def test_idle_baseline_is_configuration_error(self):
+        result = PairResult(
+            pair=PAIRS[1], ipc_st=(1.0, 1.0),
+            runs={0.0: self._run(0.0), 0.5: self._run(100.0)},
+        )
+        with pytest.raises(ConfigurationError, match="idle F=0 baseline"):
+            result.normalized_throughput(0.5)
+
+    def test_unknown_level_is_configuration_error(self):
+        result = PairResult(pair=PAIRS[1], ipc_st=(1.0, 1.0),
+                            runs={0.0: self._run(100.0)})
+        with pytest.raises(ConfigurationError, match="not run at fairness"):
+            result.normalized_throughput(0.75)
+        with pytest.raises(ConfigurationError, match="not run at fairness"):
+            result.achieved_fairness(0.75)
