@@ -9,6 +9,7 @@ output capture.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -21,7 +22,13 @@ RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 @pytest.fixture(scope="session")
 def eval_config() -> EvalConfig:
     """Default evaluation scale (see DESIGN.md): full 16-pair sweep in
-    seconds while preserving every paper-shape property."""
+    seconds while preserving every paper-shape property.
+
+    ``REPRO_BENCH_SCALE=quick`` drops to the quick preset -- CI's
+    benchmark smoke step uses it to keep the job short.
+    """
+    if os.environ.get("REPRO_BENCH_SCALE") == "quick":
+        return EvalConfig.quick()
     return EvalConfig()
 
 

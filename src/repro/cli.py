@@ -7,6 +7,8 @@ Examples::
     python -m repro fig7 --scale paper   # Figure 7 at the paper's run lengths
     python -m repro all --jobs 8         # whole evaluation, 8 worker processes
     python -m repro all --cache-dir .repro-cache   # reuse finished grid runs
+    python -m repro fig7 --trace t.jsonl # stream trace events while running
+    python -m repro trace-summary t.jsonl   # render a recorded trace
 """
 
 from __future__ import annotations
@@ -14,8 +16,11 @@ from __future__ import annotations
 import argparse
 import pathlib
 import sys
+import time
 from typing import Optional, Sequence
 
+from repro import telemetry
+from repro.errors import ConfigurationError
 from repro.experiments.common import EvalConfig
 from repro.experiments.registry import experiment_ids, get_experiment
 from repro.experiments.runner import ExecutionSettings, execution
@@ -43,7 +48,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id, 'all', or 'list'",
+        help="experiment id, 'all', 'list', or 'trace-summary'",
+    )
+    parser.add_argument(
+        "path",
+        nargs="?",
+        help="trace file (only for the trace-summary subcommand)",
     )
     parser.add_argument(
         "--scale",
@@ -72,6 +82,19 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="neither read nor write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="stream schema-validated trace events (JSONL) to PATH and "
+             "write a profiling manifest to PATH.manifest.json; results "
+             "are bit-identical with tracing on or off",
+    )
+    parser.add_argument(
+        "--trace-events",
+        metavar="CATEGORIES",
+        help="comma-separated trace categories to record "
+             "(controller,switch,runner; default: all)",
     )
     parser.add_argument(
         "--output",
@@ -132,6 +155,30 @@ def _write_text(path: str, text: str) -> None:
     target.write_text(text)
 
 
+def _build_sink(args) -> Optional[telemetry.JsonlSink]:
+    """The trace sink requested on the command line (None = no tracing)."""
+    if args.trace is None:
+        if args.trace_events:
+            raise ConfigurationError("--trace-events requires --trace PATH")
+        return None
+    categories = telemetry.parse_categories(args.trace_events)
+    return telemetry.JsonlSink(pathlib.Path(args.trace), categories)
+
+
+def _trace_summary(args) -> int:
+    from repro.telemetry.summary import render_trace_summary
+
+    if not args.path:
+        raise ConfigurationError(
+            "trace-summary needs a trace file: repro trace-summary PATH"
+        )
+    text = render_trace_summary(args.path)
+    print(text)
+    if args.output:
+        _write_text(args.output, text + "\n")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.experiment == "list":
@@ -140,6 +187,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{experiment_id:12s} {experiment.paper_reference:15s} "
                   f"{experiment.title}")
         return 0
+    if args.experiment == "trace-summary":
+        return _trace_summary(args)
 
     config = _config_for(args.scale, args.seed)
     settings = ExecutionSettings(
@@ -147,7 +196,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         cache_dir=None if args.no_cache or args.cache_dir is None
         else pathlib.Path(args.cache_dir),
     )
-    with execution(settings):
+    sink = _build_sink(args)
+    if sink is not None:
+        telemetry.PROFILE.reset()
+    wall_start = time.perf_counter()
+    with telemetry.tracing(sink), execution(settings):
         if args.experiment == "all":
             results: dict[str, object] = {}
             sections: list[str] = []
@@ -173,6 +226,21 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             json_payload = result
 
     print(text)
+    if sink is not None:
+        wall = time.perf_counter() - wall_start
+        sink.close()
+        manifest = telemetry.build_manifest(
+            config, wall, args.jobs, telemetry.PROFILE.snapshot()
+        )
+        manifest_path = f"{args.trace}.manifest.json"
+        telemetry.write_manifest(manifest, manifest_path)
+        print(
+            f"[trace] {manifest.events} events -> {args.trace} "
+            f"({manifest.events_per_sec:,.0f} events/s, "
+            f"{manifest.simulated_cycles_per_sec:,.0f} simulated cycles/s); "
+            f"manifest -> {manifest_path}",
+            file=sys.stderr,
+        )
     if args.output:
         _write_text(args.output, text + "\n")
     if args.json:

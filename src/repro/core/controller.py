@@ -33,6 +33,10 @@ from repro.core.latency import MissLatencyMonitor
 from repro.core.policy import SwitchPolicy
 from repro.core.quota import quotas_from_estimates
 from repro.errors import ConfigurationError
+from repro.telemetry import CONTROLLER as _TRACE_CONTROLLER
+from repro.telemetry import resolve_sink
+from repro.telemetry.events import controller_sample
+from repro.telemetry.sinks import TraceSink
 
 __all__ = ["FairnessParams", "SamplePoint", "FairnessController"]
 
@@ -87,7 +91,13 @@ class SamplePoint:
 class FairnessController(SwitchPolicy):
     """Runtime fairness enforcement (paper Sections 2.3, 3)."""
 
-    def __init__(self, num_threads: int, params: FairnessParams) -> None:
+    def __init__(
+        self,
+        num_threads: int,
+        params: FairnessParams,
+        *,
+        sink: Optional[TraceSink] = None,
+    ) -> None:
         if num_threads < 1:
             raise ConfigurationError("need at least one thread")
         if params.weights is not None and len(params.weights) != num_threads:
@@ -96,7 +106,9 @@ class FairnessController(SwitchPolicy):
             )
         self.params = params
         self._counters = [HardwareCounters() for _ in range(num_threads)]
-        self._deficits = [DeficitCounter(params.deficit_cap) for _ in range(num_threads)]
+        self._deficits = [
+            DeficitCounter(params.deficit_cap) for _ in range(num_threads)
+        ]
         self._estimator = IpcStEstimator(num_threads, params.miss_lat, params.smoothing)
         self._latency_monitor: Optional[MissLatencyMonitor] = None
         if params.measure_miss_latency:
@@ -104,6 +116,10 @@ class FairnessController(SwitchPolicy):
         self._quotas = [math.inf] * num_threads
         self._next_boundary = params.sample_period
         self._history: list[SamplePoint] = []
+        # Tracing is observation only: the resolved sink (explicit, or
+        # the ambient one; None when tracing is off) never feeds back
+        # into estimates, quotas, or deficits.
+        self._trace = resolve_sink(sink)
 
     # ------------------------------------------------------------------
     # Introspection (used by recorders and experiments)
@@ -151,7 +167,9 @@ class FairnessController(SwitchPolicy):
         self._counters[thread_id].retire(instructions, cycles)
         self._deficits[thread_id].consume(instructions)
 
-    def on_miss(self, thread_id: int, now: float, latency: float = None) -> None:
+    def on_miss(
+        self, thread_id: int, now: float, latency: Optional[float] = None
+    ) -> None:
         self._counters[thread_id].record_miss()
         if self._latency_monitor is not None and latency is not None:
             self._latency_monitor.record(thread_id, latency)
@@ -187,5 +205,17 @@ class FairnessController(SwitchPolicy):
                 window_instructions=tuple(s.instructions for s in samples),
             )
         )
+        if self._trace is not None and self._trace.wants(_TRACE_CONTROLLER):
+            self._trace.emit(
+                controller_sample(
+                    time=now,
+                    instructions=[s.instructions for s in samples],
+                    cycles=[s.cycles for s in samples],
+                    misses=[s.misses for s in samples],
+                    ipc_st=[e.ipc_st for e in estimates],
+                    quotas=list(self._quotas),
+                    deficits=[d.remaining for d in self._deficits],
+                )
+            )
         while self._next_boundary <= now:
             self._next_boundary += self.params.sample_period

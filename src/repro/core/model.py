@@ -203,10 +203,8 @@ class SoeModel:
 
     def speedups(self, fairness_target: float = 0.0) -> list[float]:
         """Per-thread speedup ``IPC_SOE_j / IPC_ST_j`` (the paper's key ratio)."""
-        return [
-            soe / st
-            for soe, st in zip(self.soe_ipcs(fairness_target), self.single_thread_ipcs())
-        ]
+        soe_ipcs = self.soe_ipcs(fairness_target)
+        return [soe / st for soe, st in zip(soe_ipcs, self.single_thread_ipcs())]
 
     def fairness(self, fairness_target: float = 0.0) -> float:
         """Predicted achieved fairness (Eq. 4 over the modelled speedups).

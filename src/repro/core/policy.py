@@ -23,6 +23,7 @@ from __future__ import annotations
 
 import abc
 import math
+from typing import Optional
 
 from repro.errors import ConfigurationError
 
@@ -48,7 +49,9 @@ class SwitchPolicy(abc.ABC):
     def on_retired(self, thread_id: int, instructions: float, cycles: float) -> None:
         """Called as the active thread retires work."""
 
-    def on_miss(self, thread_id: int, now: float, latency: float = None) -> None:
+    def on_miss(
+        self, thread_id: int, now: float, latency: Optional[float] = None
+    ) -> None:
         """Called when a switch-causing long-latency event occurs.
 
         ``latency`` is the event's actual stall latency when the

@@ -13,6 +13,7 @@ from __future__ import annotations
 from repro.engine.results import SingleThreadResult
 from repro.engine.segments import SegmentStream
 from repro.errors import ConfigurationError
+from repro.telemetry.profile import PROFILE
 
 __all__ = ["run_single_thread"]
 
@@ -69,6 +70,7 @@ def run_single_thread(
     window_misses = misses - base[3]
     if window_cycles <= 0:
         raise ConfigurationError("single-thread run produced an empty window")
+    PROFILE.record_cycles(cycles)
     return SingleThreadResult(
         retired=window_retired,
         cycles=window_cycles,

@@ -33,6 +33,11 @@ from repro.engine.results import SoeRunResult, ThreadStats
 from repro.engine.segments import SegmentStream
 from repro.engine.thread import EngineThread
 from repro.errors import ConfigurationError, SimulationError
+from repro.telemetry import SWITCH as _TRACE_SWITCH
+from repro.telemetry import resolve_sink
+from repro.telemetry.events import segment_end, stall, thread_switch
+from repro.telemetry.profile import PROFILE
+from repro.telemetry.sinks import TraceSink
 
 __all__ = ["SoeParams", "RunLimits", "SoeEngine", "run_soe"]
 
@@ -101,12 +106,16 @@ class SoeEngine:
         policy: Optional[SwitchPolicy] = None,
         params: SoeParams = SoeParams(),
         recorder: Optional["IntervalRecorderProtocol"] = None,
+        sink: Optional[TraceSink] = None,
     ) -> None:
         if len(streams) < 2:
             raise ConfigurationError("the SOE engine needs at least two threads")
         self.params = params
         self.policy = policy if policy is not None else NoFairnessPolicy()
         self.recorder = recorder
+        # Tracing is observation only; a disabled (ambient) sink
+        # resolves to None so the hot path pays one `is not None` test.
+        self._trace = resolve_sink(sink)
         self.threads = [EngineThread(i, s) for i, s in enumerate(streams)]
         self.now = 0.0
         self.idle_cycles = 0.0
@@ -143,6 +152,12 @@ class SoeEngine:
     def _elapse_inactive(self, duration: float, kind: str) -> None:
         """Pass non-executing time (idle or switch overhead), splitting
         at boundaries so sampling periods stay exact."""
+        if (
+            kind == "idle"
+            and self._trace is not None
+            and self._trace.wants(_TRACE_SWITCH)
+        ):
+            self._trace.emit(stall(self.now, duration, "engine"))
         remaining = duration
         while remaining > _EPS:
             boundary = self._next_boundary()
@@ -178,6 +193,10 @@ class SoeEngine:
 
     def _switch_out(self, reason: str) -> None:
         assert self._active is not None
+        if self._trace is not None and self._trace.wants(_TRACE_SWITCH):
+            self._trace.emit(
+                thread_switch(self.now, self._active.thread_id, reason, "engine")
+            )
         self.policy.on_switch_out(self._active.thread_id, reason, self.now)
         self._active = None
 
@@ -216,6 +235,7 @@ class SoeEngine:
             snapshot.idle_cycles = 0.0
             snapshot.switch_overhead_cycles = 0.0
             snapshot.threads = [(0.0, 0.0, 0, 0, 0, 0) for _ in self.threads]
+        PROFILE.record_cycles(self.now)
         return self._build_result(snapshot)
 
     # ------------------------------------------------------------------
@@ -299,6 +319,8 @@ class SoeEngine:
 
     def _complete_segment(self, thread: EngineThread) -> None:
         latency = thread.finish_segment(self.now, self.params.miss_lat)
+        if self._trace is not None and self._trace.wants(_TRACE_SWITCH):
+            self._trace.emit(segment_end(self.now, thread.thread_id, latency))
         if latency is not None:
             thread.miss_switches += 1
             self.policy.on_miss(thread.thread_id, self.now, latency=latency)

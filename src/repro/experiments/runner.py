@@ -36,6 +36,7 @@ import multiprocessing
 import os
 import pickle
 import tempfile
+import time
 from contextlib import contextmanager
 from dataclasses import dataclass, fields
 from pathlib import Path
@@ -46,6 +47,10 @@ from repro.engine.singlethread import run_single_thread
 from repro.engine.soe import run_soe
 from repro.errors import ConfigurationError
 from repro.experiments.common import EvalConfig, PairResult
+from repro.telemetry import RUNNER as _TRACE_RUNNER
+from repro.telemetry import current_sink
+from repro.telemetry.events import cache_event, task_event
+from repro.telemetry.profile import PROFILE, WorkerProfile, merge_latest
 from repro.workloads.pairs import BenchmarkPair, evaluation_pairs
 from repro.workloads.spec2000 import get_profile
 
@@ -150,6 +155,72 @@ def execution(settings: ExecutionSettings) -> Iterator[ExecutionSettings]:
         set_execution(previous)
 
 
+def _task_descriptor(item: object) -> tuple[str, str]:
+    """(kind, label) describing a task spec in trace events."""
+    if isinstance(item, _StTask):
+        return "single_thread", f"{item.benchmark}@s{item.stream_seed}"
+    if isinstance(item, _SoeTask):
+        return "soe_pair", f"{item.pair.label}@F{item.level:g}"
+    return "task", type(item).__name__
+
+
+@dataclass(frozen=True)
+class _TaskOutcome:
+    """A task's result plus the executing process's profile snapshot."""
+
+    result: object
+    profile: WorkerProfile
+
+
+class _TracedCall:
+    """Task-function wrapper used when a trace sink is active.
+
+    Emits runner ``task`` start/stop events (with worker pid and wall
+    time) around the wrapped call and returns the result together with
+    the process's cumulative profile, so the parent can merge worker
+    profiling without any shared state. The wrapper is picklable
+    (it holds only the module-level task function).
+    """
+
+    def __init__(self, func: Callable) -> None:
+        self.func = func
+
+    def __call__(self, item: object) -> _TaskOutcome:
+        sink = current_sink()
+        kind, label = _task_descriptor(item)
+        worker = os.getpid()
+        if sink.wants(_TRACE_RUNNER):
+            sink.emit(task_event("start", kind, label, worker))
+        start = time.perf_counter()
+        result = self.func(item)
+        wall = time.perf_counter() - start
+        PROFILE.record_task(wall)
+        if sink.wants(_TRACE_RUNNER):
+            sink.emit(task_event("stop", kind, label, worker, wall_s=wall))
+        return _TaskOutcome(result=result, profile=PROFILE.snapshot())
+
+
+def _merge_worker_profiles(outcomes: Sequence[_TaskOutcome]) -> None:
+    """Fold foreign workers' profiling totals into this process's.
+
+    Each worker's counters are monotonic, so its *latest* snapshot (the
+    field-wise maximum over what came back) is its total; snapshots
+    from this process are already in :data:`PROFILE` and are skipped.
+    """
+    parent = os.getpid()
+    latest: dict[int, WorkerProfile] = {}
+    for outcome in outcomes:
+        profile = outcome.profile
+        if profile.pid == parent:
+            continue
+        previous = latest.get(profile.pid)
+        latest[profile.pid] = (
+            profile if previous is None else merge_latest(previous, profile)
+        )
+    for profile in latest.values():
+        PROFILE.merge(profile)
+
+
 def parallel_map(
     func: Callable[[T], R],
     items: Iterable[T],
@@ -162,16 +233,28 @@ def parallel_map(
     callable (or a ``functools.partial`` of one) and every item a pure,
     picklable task spec carrying its own seed -- the workers share no
     state with the parent.
+
+    When a trace sink is active, each task is bracketed by runner
+    ``task`` events and worker profiles are merged back into the
+    parent; the returned results are identical either way (tracing is
+    observation only).
     """
     tasks = list(items)
     if jobs is None:
         jobs = current_settings().jobs
     if jobs < 1:
         raise ConfigurationError("jobs must be a positive process count")
+    traced = current_sink().enabled
+    call: Callable = _TracedCall(func) if traced else func
     if jobs == 1 or len(tasks) <= 1:
-        return [func(task) for task in tasks]
-    with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-        return pool.map(func, tasks, chunksize=1)
+        raw = [call(task) for task in tasks]
+    else:
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            raw = pool.map(call, tasks, chunksize=1)
+    if not traced:
+        return raw
+    _merge_worker_profiles(raw)
+    return [outcome.result for outcome in raw]
 
 
 # ---------------------------------------------------------------------------
@@ -402,6 +485,7 @@ def run_grid(
         ResultCache(settings.cache_dir) if settings.cache_dir is not None else None
     )
     stats = CacheStats()
+    sink = current_sink()
     results: dict[int, PairResult] = {}
     pending: list[tuple[int, BenchmarkPair]] = []
     for index, pair in enumerate(pair_list):
@@ -409,9 +493,13 @@ def run_grid(
         if cached is not None:
             results[index] = cached
             stats.hits += 1
+            if sink.wants(_TRACE_RUNNER):
+                sink.emit(cache_event("hit", pair.label))
         else:
             if cache is not None:
                 stats.misses += 1
+                if sink.wants(_TRACE_RUNNER):
+                    sink.emit(cache_event("miss", pair.label))
             pending.append((index, pair))
 
     if pending:

@@ -17,12 +17,25 @@ from repro.errors import ConfigurationError
 __all__ = ["truncated_fairness", "FairnessSummary", "summarize_achieved_fairness"]
 
 
+#: Tolerance for float noise in achieved-fairness ratios. Achieved
+#: fairness is min/max of measured speedups, so it is <= 1 by
+#: construction -- but the division can land a few ulps above 1.0 (or
+#: below 0.0); such values are clamped, while anything further out
+#: still signals a real computation bug and raises.
+_FAIRNESS_NOISE = 1e-6
+
+
 def truncated_fairness(achieved: float, fairness_target: float) -> float:
-    """``min(F, achieved)``, except no truncation when F = 0."""
+    """``min(F, achieved)``, except no truncation when F = 0.
+
+    ``achieved`` values within :data:`_FAIRNESS_NOISE` outside [0, 1]
+    are clamped back into range instead of rejected.
+    """
     if not 0.0 <= fairness_target <= 1.0:
         raise ConfigurationError("fairness target must be in [0, 1]")
-    if not 0.0 <= achieved <= 1.0 + 1e-9:
+    if not -_FAIRNESS_NOISE <= achieved <= 1.0 + _FAIRNESS_NOISE:
         raise ConfigurationError(f"achieved fairness out of range: {achieved}")
+    achieved = min(max(achieved, 0.0), 1.0)
     if fairness_target == 0.0:
         return achieved
     return min(fairness_target, achieved)

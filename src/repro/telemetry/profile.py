@@ -1,0 +1,205 @@
+"""Run profiling: where the simulator's wall-clock goes.
+
+A traced run accumulates three cheap counters per process -- events
+emitted, simulated cycles executed, grid tasks completed (with their
+wall time) -- in the module-level :data:`PROFILE` accumulator. The
+accumulator is fork-aware: a multiprocessing worker inherits the
+parent's state at fork, so the first record in a new process resets it,
+and the grid runner merges each worker's final snapshot back into the
+parent. The CLI turns the merged totals into a :class:`RunManifest`
+(config hash, seed, events/sec, simulated-cycles/sec, peak RSS) written
+next to the trace file; CI surfaces those numbers per-PR.
+
+Profiling never influences simulation results: it only reads counters
+the run produces anyway.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import sys
+from dataclasses import dataclass, fields as dataclass_fields
+from pathlib import Path
+from typing import Union
+
+__all__ = [
+    "WorkerProfile",
+    "ProfileAccumulator",
+    "PROFILE",
+    "RunManifest",
+    "merge_latest",
+    "config_fingerprint",
+    "build_manifest",
+    "write_manifest",
+]
+
+
+def _peak_rss_bytes() -> int:
+    """This process's peak resident set size, in bytes (0 if unknown)."""
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX platform
+        return 0
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is KiB on Linux, bytes on macOS.
+    return int(peak) if sys.platform == "darwin" else int(peak) * 1024
+
+
+@dataclass(frozen=True)
+class WorkerProfile:
+    """One process's profiling totals (the picklable merge unit)."""
+
+    pid: int
+    events: int = 0
+    simulated_cycles: float = 0.0
+    tasks: int = 0
+    task_seconds: float = 0.0
+    peak_rss_bytes: int = 0
+
+
+class ProfileAccumulator:
+    """Per-process profiling counters (monotonic within one process).
+
+    All record methods are O(1) and allocation-free; a forked child
+    lazily resets itself on its first record so worker totals never
+    double-count the parent's.
+    """
+
+    def __init__(self) -> None:
+        self._pid = os.getpid()
+        self._events = 0
+        self._simulated_cycles = 0.0
+        self._tasks = 0
+        self._task_seconds = 0.0
+
+    def _check_process(self) -> None:
+        if os.getpid() != self._pid:
+            self.reset()
+
+    def reset(self) -> None:
+        """Zero the counters (and adopt the current process)."""
+        self._pid = os.getpid()
+        self._events = 0
+        self._simulated_cycles = 0.0
+        self._tasks = 0
+        self._task_seconds = 0.0
+
+    def record_event(self) -> None:
+        """Account one emitted trace event."""
+        self._check_process()
+        self._events += 1
+
+    def record_cycles(self, cycles: float) -> None:
+        """Account ``cycles`` of completed simulated time."""
+        self._check_process()
+        self._simulated_cycles += cycles
+
+    def record_task(self, wall_seconds: float) -> None:
+        """Account one completed grid task and its wall time."""
+        self._check_process()
+        self._tasks += 1
+        self._task_seconds += wall_seconds
+
+    def snapshot(self) -> WorkerProfile:
+        """An immutable copy of this process's totals so far."""
+        self._check_process()
+        return WorkerProfile(
+            pid=self._pid,
+            events=self._events,
+            simulated_cycles=self._simulated_cycles,
+            tasks=self._tasks,
+            task_seconds=self._task_seconds,
+            peak_rss_bytes=_peak_rss_bytes(),
+        )
+
+    def merge(self, worker: WorkerProfile) -> None:
+        """Fold a (foreign) worker's totals into this process's."""
+        self._check_process()
+        self._events += worker.events
+        self._simulated_cycles += worker.simulated_cycles
+        self._tasks += worker.tasks
+        self._task_seconds += worker.task_seconds
+
+
+def merge_latest(a: WorkerProfile, b: WorkerProfile) -> WorkerProfile:
+    """The later of two snapshots from the *same* process.
+
+    Counters are monotonic within a process, so the field-wise maximum
+    is exactly the more recent snapshot -- robust even when task results
+    come back in task order rather than completion order.
+    """
+    return WorkerProfile(
+        pid=a.pid,
+        events=max(a.events, b.events),
+        simulated_cycles=max(a.simulated_cycles, b.simulated_cycles),
+        tasks=max(a.tasks, b.tasks),
+        task_seconds=max(a.task_seconds, b.task_seconds),
+        peak_rss_bytes=max(a.peak_rss_bytes, b.peak_rss_bytes),
+    )
+
+
+#: The ambient per-process accumulator every instrumentation site feeds.
+PROFILE = ProfileAccumulator()
+
+
+@dataclass(frozen=True)
+class RunManifest:
+    """Summary of one traced run, written as ``<trace>.manifest.json``."""
+
+    schema_version: int
+    config_hash: str
+    seed: int
+    wall_seconds: float
+    workers: int
+    events: int
+    simulated_cycles: float
+    tasks: int
+    events_per_sec: float
+    simulated_cycles_per_sec: float
+    peak_rss_bytes: int
+
+
+def config_fingerprint(config) -> str:
+    """Digest identifying what was computed: every config field plus
+    the simulator code version (same inputs as the result-cache key)."""
+    from repro.experiments.runner import code_version
+
+    fingerprint = (
+        code_version(),
+        tuple(
+            (field.name, repr(getattr(config, field.name)))
+            for field in dataclass_fields(config)
+        ),
+    )
+    return hashlib.sha256(repr(fingerprint).encode()).hexdigest()[:16]
+
+
+def build_manifest(
+    config,
+    wall_seconds: float,
+    workers: int,
+    profile: WorkerProfile,
+) -> RunManifest:
+    """Assemble the manifest for a finished traced run."""
+    wall = max(wall_seconds, 1e-9)
+    return RunManifest(
+        schema_version=1,
+        config_hash=config_fingerprint(config),
+        seed=int(getattr(config, "seed", 0)),
+        wall_seconds=wall_seconds,
+        workers=workers,
+        events=profile.events,
+        simulated_cycles=profile.simulated_cycles,
+        tasks=profile.tasks,
+        events_per_sec=profile.events / wall,
+        simulated_cycles_per_sec=profile.simulated_cycles / wall,
+        peak_rss_bytes=profile.peak_rss_bytes,
+    )
+
+
+def write_manifest(manifest: RunManifest, path: Union[str, Path]) -> None:
+    """Write the manifest as pretty-printed JSON (parents created)."""
+    from repro.experiments.io import write_json
+
+    write_json(manifest, path)

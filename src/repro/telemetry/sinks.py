@@ -1,0 +1,151 @@
+"""Trace sinks: where emitted events go.
+
+Instrumentation sites hold a :class:`TraceSink` and guard every
+emission with ``sink.wants(category)``, so the cost of tracing is
+decided here:
+
+* :class:`NullSink` -- the default. ``wants`` is a constant ``False``
+  and instrumentation sites that resolve a disabled sink drop their
+  reference entirely, so an untraced run pays (at most) one attribute
+  test per potential event.
+* :class:`RingBufferSink` -- keeps the last ``capacity`` events in
+  memory. For tests, interactive inspection, and flight-recorder style
+  "what just happened" debugging.
+* :class:`JsonlSink` -- streams events to a file, one JSON object per
+  line. Fork-safe: a multiprocessing worker that inherits the sink
+  lazily reopens the file in its own process, and every event is
+  written with a single ``O_APPEND`` write so concurrent workers never
+  interleave partial lines.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from pathlib import Path
+from typing import Mapping, Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.telemetry.events import CATEGORIES
+from repro.telemetry.profile import PROFILE
+
+__all__ = ["TraceSink", "NullSink", "RingBufferSink", "JsonlSink"]
+
+
+class TraceSink:
+    """Base class / protocol for trace event consumers.
+
+    ``categories`` restricts the sink to a subset of
+    :data:`~repro.telemetry.events.CATEGORIES` (None = everything);
+    emitters must check :meth:`wants` before building an event, which is
+    what keeps filtered-out instrumentation close to free.
+    """
+
+    #: False only for :class:`NullSink`; lets holders drop the sink.
+    enabled: bool = True
+
+    def __init__(self, categories: Optional[frozenset] = None) -> None:
+        if categories is not None:
+            categories = frozenset(categories)
+            unknown = categories - CATEGORIES
+            if unknown:
+                raise ConfigurationError(
+                    f"unknown trace categories {sorted(unknown)}; "
+                    f"choose from {sorted(CATEGORIES)}"
+                )
+        self.categories = categories
+        #: Events accepted by :meth:`emit` over the sink's lifetime.
+        self.emitted = 0
+
+    def wants(self, category: str) -> bool:
+        """Should events of ``category`` be built and emitted at all?"""
+        return self.categories is None or category in self.categories
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        """Consume one event (a dict built by :mod:`.events`)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources; further emits are undefined."""
+
+
+class NullSink(TraceSink):
+    """The zero-cost default: accepts nothing, stores nothing."""
+
+    enabled = False
+
+    def __init__(self) -> None:
+        super().__init__(None)
+
+    def wants(self, category: str) -> bool:
+        return False
+
+    def emit(self, event: Mapping[str, object]) -> None:  # pragma: no cover
+        pass
+
+
+class RingBufferSink(TraceSink):
+    """Keeps the most recent ``capacity`` events in memory."""
+
+    def __init__(
+        self, capacity: int = 4096, categories: Optional[frozenset] = None
+    ) -> None:
+        super().__init__(categories)
+        if capacity < 1:
+            raise ConfigurationError("ring buffer capacity must be positive")
+        self.capacity = capacity
+        self._buffer: deque = deque(maxlen=capacity)
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        self._buffer.append(dict(event))
+        self.emitted += 1
+        PROFILE.record_event()
+
+    @property
+    def events(self) -> list:
+        """The buffered events, oldest first."""
+        return list(self._buffer)
+
+    def clear(self) -> None:
+        self._buffer.clear()
+
+
+class JsonlSink(TraceSink):
+    """Streams events to ``path``, one compact JSON object per line.
+
+    The file descriptor is opened lazily and per-process: after a
+    ``fork`` each worker reopens the file itself, and lines are written
+    with one ``os.write`` to an ``O_APPEND`` descriptor, so a shared
+    trace file collects whole lines from every worker.
+    """
+
+    def __init__(
+        self, path: Union[str, Path], categories: Optional[frozenset] = None
+    ) -> None:
+        super().__init__(categories)
+        self.path = Path(path)
+        self._fd: Optional[int] = None
+        self._fd_pid: Optional[int] = None
+
+    def _descriptor(self) -> int:
+        pid = os.getpid()
+        if self._fd is None or self._fd_pid != pid:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._fd = os.open(
+                self.path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644
+            )
+            self._fd_pid = pid
+        return self._fd
+
+    def emit(self, event: Mapping[str, object]) -> None:
+        line = json.dumps(event, separators=(",", ":"), allow_nan=False)
+        os.write(self._descriptor(), line.encode("utf-8") + b"\n")
+        self.emitted += 1
+        PROFILE.record_event()
+
+    def close(self) -> None:
+        if self._fd is not None and self._fd_pid == os.getpid():
+            os.close(self._fd)
+        self._fd = None
+        self._fd_pid = None

@@ -1,0 +1,177 @@
+"""Trace-file summaries: ``repro trace-summary PATH``.
+
+Reads a JSONL trace (validating every line against the event schema),
+aggregates it, and renders a terminal report: switch-cause histogram,
+fairness-convergence timelines (per-thread IPC_ST estimates and window
+instruction shares across Delta boundaries), and runner task/cache
+accounting -- the "why did the mechanism do that?" view the raw event
+stream is too fine-grained for.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Optional, Union
+
+from repro.errors import ConfigurationError
+from repro.metrics.ascii_chart import bar_chart, line_chart
+from repro.telemetry.events import validate_event
+
+__all__ = ["TraceSummary", "summarize_trace", "render_summary", "render_trace_summary"]
+
+
+def _to_float(value) -> float:
+    """Decode a schema number (non-finite floats travel as strings)."""
+    return float(value)
+
+
+@dataclass
+class TraceSummary:
+    """Aggregates of one trace file."""
+
+    events: int = 0
+    #: switch cause -> count (both substrates combined)
+    switch_causes: dict = field(default_factory=dict)
+    segments: int = 0
+    stalls: int = 0
+    stall_cycles: float = 0.0
+    #: Delta boundaries: (time, ipc_st per thread, instructions per thread)
+    sample_times: list = field(default_factory=list)
+    sample_ipc_st: list = field(default_factory=list)
+    sample_instructions: list = field(default_factory=list)
+    #: task kind -> [count, total wall seconds]
+    tasks: dict = field(default_factory=dict)
+    workers: set = field(default_factory=set)
+    cache_hits: int = 0
+    cache_misses: int = 0
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.sample_ipc_st[0]) if self.sample_ipc_st else 0
+
+
+def summarize_trace(path: Union[str, Path]) -> TraceSummary:
+    """Parse, validate, and aggregate a JSONL trace file."""
+    summary = TraceSummary()
+    trace = Path(path)
+    if not trace.exists():
+        raise ConfigurationError(f"trace file not found: {trace}")
+    with trace.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            if not line.strip():
+                continue
+            try:
+                event = validate_event(json.loads(line))
+            except (json.JSONDecodeError, ConfigurationError) as error:
+                raise ConfigurationError(f"{trace}:{line_no}: {error}") from error
+            summary.events += 1
+            name = event["event"]
+            if name == "switch":
+                cause = event["cause"]
+                summary.switch_causes[cause] = summary.switch_causes.get(cause, 0) + 1
+            elif name == "segment":
+                summary.segments += 1
+            elif name == "stall":
+                summary.stalls += 1
+                summary.stall_cycles += _to_float(event["duration"])
+            elif name == "sample":
+                summary.sample_times.append(_to_float(event["t"]))
+                summary.sample_ipc_st.append(
+                    [_to_float(v) for v in event["ipc_st"]]
+                )
+                summary.sample_instructions.append(
+                    [_to_float(v) for v in event["instructions"]]
+                )
+            elif name == "task":
+                if event["phase"] == "stop":
+                    count, wall = summary.tasks.get(event["kind"], (0, 0.0))
+                    wall_s = event["wall_s"]
+                    summary.tasks[event["kind"]] = (
+                        count + 1,
+                        wall + (_to_float(wall_s) if wall_s is not None else 0.0),
+                    )
+                summary.workers.add(event["worker"])
+            elif name == "cache":
+                if event["outcome"] == "hit":
+                    summary.cache_hits += 1
+                else:
+                    summary.cache_misses += 1
+    return summary
+
+
+def _convergence_charts(summary: TraceSummary) -> list:
+    """Per-thread IPC_ST estimates and window-instruction shares over
+    time -- converging shares are the mechanism doing its job."""
+    sections = []
+    n = summary.num_threads
+    if len(summary.sample_times) < 2 or n == 0:
+        sections.append(
+            "(fewer than two controller samples; no convergence timeline)"
+        )
+        return sections
+    ipc_series = {
+        f"T{j} IPC_ST": [row[j] for row in summary.sample_ipc_st] for j in range(n)
+    }
+    sections.append("Estimated single-thread IPC per Delta window:")
+    sections.append(
+        line_chart(ipc_series, x_values=summary.sample_times, y_label="IPC_ST")
+    )
+    shares = []
+    for row in summary.sample_instructions:
+        total = sum(row)
+        shares.append([v / total if total else 0.0 for v in row])
+    share_series = {
+        f"T{j} share": [row[j] for row in shares] for j in range(n)
+    }
+    sections.append("")
+    sections.append("Window instruction share per thread (fairness convergence):")
+    sections.append(
+        line_chart(share_series, x_values=summary.sample_times, y_label="share")
+    )
+    return sections
+
+
+def render_summary(summary: TraceSummary) -> str:
+    """Render an aggregated trace as terminal text."""
+    lines = ["Trace summary", "============="]
+    lines.append(f"events: {summary.events}")
+    lines.append("")
+    if summary.switch_causes:
+        lines.append("Thread switches by cause:")
+        ordered = dict(
+            sorted(summary.switch_causes.items(), key=lambda kv: -kv[1])
+        )
+        lines.append(bar_chart(ordered))
+    else:
+        lines.append("(no switch events in this trace)")
+    if summary.segments or summary.stalls:
+        lines.append("")
+        lines.append(
+            f"segments completed: {summary.segments}; idle stalls: "
+            f"{summary.stalls} ({summary.stall_cycles:.0f} cycles)"
+        )
+    lines.append("")
+    lines.append(
+        f"Controller samples: {len(summary.sample_times)} Delta boundaries"
+    )
+    lines.extend(_convergence_charts(summary))
+    if summary.tasks or summary.cache_hits or summary.cache_misses:
+        lines.append("")
+        lines.append("Runner tasks:")
+        for kind, (count, wall) in sorted(summary.tasks.items()):
+            lines.append(f"  {kind:12s} {count:5d} tasks  {wall:9.3f} s wall")
+        if summary.workers:
+            lines.append(f"  workers: {len(summary.workers)}")
+        if summary.cache_hits or summary.cache_misses:
+            lines.append(
+                f"  result cache: {summary.cache_hits} hits / "
+                f"{summary.cache_misses} misses"
+            )
+    return "\n".join(lines)
+
+
+def render_trace_summary(path: Union[str, Path]) -> str:
+    """Summarize and render a trace file in one step (the CLI entry)."""
+    return render_summary(summarize_trace(path))

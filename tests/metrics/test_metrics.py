@@ -48,6 +48,22 @@ class TestTruncatedFairness:
         with pytest.raises(ConfigurationError):
             truncated_fairness(0.5, 2.0)
 
+    def test_clamps_float_noise_above_one(self):
+        # min/max speedup ratios can land a few ulps above 1.0; that is
+        # measurement noise, not a computation bug.
+        assert truncated_fairness(1.0 + 5e-8, 0.5) == pytest.approx(0.5)
+        assert truncated_fairness(1.0 + 5e-8, 0.0) == pytest.approx(1.0)
+        assert truncated_fairness(1.0 + 9e-7, 1.0) == pytest.approx(1.0)
+
+    def test_clamps_float_noise_below_zero(self):
+        assert truncated_fairness(-5e-8, 0.5) == pytest.approx(0.0)
+
+    def test_still_rejects_gross_violations(self):
+        with pytest.raises(ConfigurationError):
+            truncated_fairness(1.0 + 1e-5, 0.5)
+        with pytest.raises(ConfigurationError):
+            truncated_fairness(-1e-5, 0.5)
+
 
 class TestSummarizeAchievedFairness:
     def test_mean_and_stdev(self):

@@ -1,0 +1,167 @@
+"""Tests for the trace sinks and the ambient-sink plumbing."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.errors import ConfigurationError
+from repro.telemetry import (
+    CONTROLLER,
+    RUNNER,
+    SWITCH,
+    JsonlSink,
+    NullSink,
+    RingBufferSink,
+    current_sink,
+    resolve_sink,
+    set_sink,
+    tracing,
+)
+from repro.telemetry.events import stall, thread_switch
+
+
+class TestNullSink:
+    def test_is_disabled(self):
+        sink = NullSink()
+        assert sink.enabled is False
+
+    def test_wants_nothing(self):
+        sink = NullSink()
+        for category in (CONTROLLER, SWITCH, RUNNER):
+            assert sink.wants(category) is False
+
+    def test_emit_is_a_noop(self):
+        sink = NullSink()
+        sink.emit(thread_switch(1.0, 0, "miss", "engine"))
+        assert sink.emitted == 0
+        sink.close()
+
+
+class TestRingBufferSink:
+    def test_keeps_most_recent_events(self):
+        sink = RingBufferSink(capacity=3)
+        for i in range(5):
+            sink.emit(thread_switch(float(i), 0, "miss", "engine"))
+        assert [e["t"] for e in sink.events] == [2.0, 3.0, 4.0]
+
+    def test_emitted_counts_all_events_despite_eviction(self):
+        sink = RingBufferSink(capacity=2)
+        for i in range(7):
+            sink.emit(stall(float(i), 10.0, "engine"))
+        assert sink.emitted == 7
+        assert len(sink.events) == 2
+
+    def test_clear(self):
+        sink = RingBufferSink()
+        sink.emit(stall(0.0, 1.0, "engine"))
+        sink.clear()
+        assert sink.events == []
+
+    def test_events_are_copies(self):
+        sink = RingBufferSink()
+        sink.emit(stall(0.0, 1.0, "engine"))
+        sink.events.append("junk")
+        assert len(sink.events) == 1
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ConfigurationError):
+            RingBufferSink(capacity=0)
+
+    def test_rejects_unknown_categories(self):
+        with pytest.raises(ConfigurationError):
+            RingBufferSink(categories=frozenset({"bogus"}))
+
+
+class TestCategoryFiltering:
+    def test_default_wants_everything(self):
+        sink = RingBufferSink()
+        assert all(sink.wants(c) for c in (CONTROLLER, SWITCH, RUNNER))
+
+    def test_subset_filters(self):
+        sink = RingBufferSink(categories=frozenset({CONTROLLER}))
+        assert sink.wants(CONTROLLER)
+        assert not sink.wants(SWITCH)
+        assert not sink.wants(RUNNER)
+
+
+class TestJsonlSink:
+    def test_round_trips_events_one_per_line(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        emitted = [
+            thread_switch(1.0, 0, "miss", "engine"),
+            thread_switch(2.0, 1, "quota", "cpu"),
+            stall(3.0, 400.0, "engine"),
+        ]
+        for event in emitted:
+            sink.emit(event)
+        sink.close()
+        lines = path.read_text().splitlines()
+        assert [json.loads(line) for line in lines] == emitted
+        assert sink.emitted == 3
+
+    def test_creates_parent_directories(self, tmp_path):
+        path = tmp_path / "deep" / "dir" / "trace.jsonl"
+        sink = JsonlSink(path)
+        sink.emit(stall(0.0, 1.0, "engine"))
+        sink.close()
+        assert path.exists()
+
+    def test_appends_across_reopen(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        first = JsonlSink(path)
+        first.emit(stall(0.0, 1.0, "engine"))
+        first.close()
+        second = JsonlSink(path)
+        second.emit(stall(1.0, 2.0, "engine"))
+        second.close()
+        assert len(path.read_text().splitlines()) == 2
+
+    def test_close_is_idempotent(self, tmp_path):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.close()
+        sink.close()
+
+
+class TestAmbientSink:
+    def test_default_is_null(self):
+        assert isinstance(current_sink(), NullSink)
+
+    def test_tracing_installs_and_restores(self):
+        before = current_sink()
+        ring = RingBufferSink()
+        with tracing(ring) as active:
+            assert active is ring
+            assert current_sink() is ring
+        assert current_sink() is before
+
+    def test_tracing_restores_on_error(self):
+        before = current_sink()
+        with pytest.raises(RuntimeError):
+            with tracing(RingBufferSink()):
+                raise RuntimeError("boom")
+        assert current_sink() is before
+
+    def test_set_sink_none_disables(self):
+        previous = set_sink(RingBufferSink())
+        try:
+            set_sink(None)
+            assert isinstance(current_sink(), NullSink)
+        finally:
+            set_sink(previous)
+
+    def test_resolve_prefers_explicit_sink(self):
+        ring = RingBufferSink()
+        ambient = RingBufferSink()
+        with tracing(ambient):
+            assert resolve_sink(ring) is ring
+            assert resolve_sink(None) is ambient
+
+    def test_resolve_disabled_sink_is_none(self):
+        assert resolve_sink(NullSink()) is None
+        assert resolve_sink(None) is None  # ambient default is Null
+
+    def test_package_exports_match(self):
+        for name in telemetry.__all__:
+            assert hasattr(telemetry, name)
