@@ -1,0 +1,129 @@
+"""Committed baseline of grandfathered findings, with a ratchet.
+
+The baseline is a JSON file mapping finding *fingerprints* (see
+:attr:`repro.analysis.findings.Finding.fingerprint` — line-number
+independent) to an occurrence count plus a human-readable echo of the
+finding. Applying a baseline marks up to ``count`` matching findings as
+``baselined`` (they no longer fail the lint); any excess stays live.
+
+The **ratchet**: the baseline may only shrink. When a baselined finding
+disappears from the code, the stale entry must be removed from the
+committed file (``repro lint --write-baseline`` rewrites it with only
+the still-live findings). ``repro lint --ratchet`` turns stale entries
+into errors, which is how CI forces the count monotonically down.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from repro.analysis.findings import Finding
+from repro.errors import ConfigurationError
+
+__all__ = ["Baseline", "apply_baseline"]
+
+_FORMAT = 1
+
+
+@dataclass
+class BaselineEntry:
+    count: int
+    example: str  #: rendered echo of one matching finding, for humans
+
+
+class Baseline:
+    """In-memory form of the committed baseline file."""
+
+    def __init__(self, entries: "Dict[str, BaselineEntry] | None" = None) -> None:
+        self.entries: Dict[str, BaselineEntry] = dict(entries or {})
+
+    @property
+    def total(self) -> int:
+        return sum(entry.count for entry in self.entries.values())
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Path) -> "Baseline":
+        if not path.exists():
+            return cls()
+        try:
+            payload = json.loads(path.read_text())
+        except json.JSONDecodeError as exc:
+            raise ConfigurationError(f"unreadable baseline {path}: {exc}") from exc
+        if payload.get("format") != _FORMAT:
+            raise ConfigurationError(
+                f"baseline {path} has format {payload.get('format')!r}, "
+                f"expected {_FORMAT}"
+            )
+        entries = {
+            fingerprint: BaselineEntry(int(item["count"]), str(item["example"]))
+            for fingerprint, item in payload.get("findings", {}).items()
+        }
+        return cls(entries)
+
+    def save(self, path: Path) -> None:
+        payload = {
+            "format": _FORMAT,
+            "findings": {
+                fingerprint: {"count": entry.count, "example": entry.example}
+                for fingerprint, entry in sorted(self.entries.items())
+            },
+        }
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+    @classmethod
+    def from_findings(cls, findings: Sequence[Finding]) -> "Baseline":
+        """A baseline grandfathering exactly the given findings."""
+        baseline = cls()
+        for finding in findings:
+            entry = baseline.entries.get(finding.fingerprint)
+            if entry is None:
+                baseline.entries[finding.fingerprint] = BaselineEntry(
+                    1, finding.render()
+                )
+            else:
+                entry.count += 1
+        return baseline
+
+
+def apply_baseline(
+    findings: Sequence[Finding], baseline: Baseline
+) -> Tuple[List[Finding], List[str]]:
+    """Mark baselined findings; report stale baseline entries.
+
+    Returns ``(findings, stale)`` where ``findings`` is the input list
+    with up to ``count`` matches per fingerprint flagged ``baselined``
+    (in source order), and ``stale`` is a human-readable list of
+    baseline entries whose findings no longer (all) exist — the ratchet
+    demands those entries be deleted from the committed file.
+    """
+    remaining = {
+        fingerprint: entry.count for fingerprint, entry in baseline.entries.items()
+    }
+    out: List[Finding] = []
+    for finding in sorted(findings):
+        if remaining.get(finding.fingerprint, 0) > 0:
+            remaining[finding.fingerprint] -= 1
+            finding = Finding(
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                rule=finding.rule,
+                message=finding.message,
+                severity=finding.severity,
+                baselined=True,
+            )
+        out.append(finding)
+    stale = [
+        f"{baseline.entries[fingerprint].example} "
+        f"({unused} baselined occurrence(s) no longer found)"
+        for fingerprint, unused in sorted(remaining.items())
+        if unused > 0
+    ]
+    return out, stale

@@ -1,0 +1,271 @@
+"""Lint engine: collect files, run rules, apply suppressions + baseline.
+
+The engine is deliberately dependency-free and deterministic: files are
+discovered in sorted order, findings are sorted by (path, line, col,
+rule), and the JSON report round-trips byte-identically for identical
+inputs — the same property the simulators guarantee, applied to the
+tool that polices it.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.baseline import Baseline, apply_baseline
+from repro.analysis.eqmap import EqTable, build_table
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.registry import (
+    ModuleInfo,
+    ProjectInfo,
+    Rule,
+    select_rules,
+)
+from repro.analysis.suppressions import Suppressions, parse_suppressions
+from repro.errors import ConfigurationError
+
+__all__ = ["LintResult", "run_lint", "default_repo_root", "check_source"]
+
+#: The tree linted by default, relative to the repo root.
+DEFAULT_TARGET = "src/repro"
+
+#: Committed baseline location, relative to the repo root.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+
+def default_repo_root() -> Path:
+    """The repository root (the directory holding ``src/`` and PAPER.md).
+
+    Resolved from this file's location in a source checkout; falls back
+    to the current working directory for installed packages.
+    """
+    candidate = Path(__file__).resolve().parents[3]
+    if (candidate / "src" / "repro").is_dir():
+        return candidate
+    return Path.cwd()
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: List[Finding] = field(default_factory=list)
+    suppressed: List[Finding] = field(default_factory=list)
+    stale_baseline: List[str] = field(default_factory=list)
+    eq_table: Optional[EqTable] = None
+    files_checked: int = 0
+    rules_run: List[str] = field(default_factory=list)
+
+    @property
+    def active(self) -> List[Finding]:
+        """Findings that are neither suppressed nor baselined."""
+        return [finding for finding in self.findings if not finding.baselined]
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [
+            finding
+            for finding in self.active
+            if finding.severity is Severity.ERROR
+        ]
+
+    @property
+    def exit_code(self) -> int:
+        return 1 if self.errors else 0
+
+    def by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.active:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return counts
+
+    def to_json(self) -> Dict[str, object]:
+        return {
+            "version": 1,
+            "summary": {
+                "files_checked": self.files_checked,
+                "rules_run": self.rules_run,
+                "findings": len(self.active),
+                "baselined": sum(1 for f in self.findings if f.baselined),
+                "suppressed": len(self.suppressed),
+                "stale_baseline_entries": len(self.stale_baseline),
+                "by_rule": self.by_rule(),
+            },
+            "findings": [
+                {
+                    "rule": f.rule,
+                    "path": f.path,
+                    "line": f.line,
+                    "col": f.col,
+                    "severity": str(f.severity),
+                    "message": f.message,
+                    "baselined": f.baselined,
+                    "fingerprint": f.fingerprint,
+                }
+                for f in self.findings
+            ],
+            "stale_baseline": list(self.stale_baseline),
+            "eq_coverage": self.eq_table.to_json() if self.eq_table else None,
+        }
+
+    def to_sarif(self) -> Dict[str, object]:
+        """Minimal SARIF 2.1.0 document (one run, one result per finding)."""
+        from repro.analysis.registry import all_rules
+
+        rules_meta = [
+            {
+                "id": rule.meta.id,
+                "name": rule.meta.name,
+                "shortDescription": {"text": rule.meta.rationale},
+                "defaultConfiguration": {
+                    "level": "error"
+                    if rule.meta.severity is Severity.ERROR
+                    else "warning"
+                },
+            }
+            for rule in all_rules()
+        ]
+        return {
+            "$schema": (
+                "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json"
+            ),
+            "version": "2.1.0",
+            "runs": [
+                {
+                    "tool": {
+                        "driver": {
+                            "name": "repro-lint",
+                            "informationUri": "docs/STATIC_ANALYSIS.md",
+                            "rules": rules_meta,
+                        }
+                    },
+                    "results": [
+                        {
+                            "ruleId": f.rule,
+                            "level": "note"
+                            if f.baselined
+                            else (
+                                "error"
+                                if f.severity is Severity.ERROR
+                                else "warning"
+                            ),
+                            "message": {"text": f.message},
+                            "locations": [
+                                {
+                                    "physicalLocation": {
+                                        "artifactLocation": {"uri": f.path},
+                                        "region": {
+                                            "startLine": f.line,
+                                            "startColumn": f.col + 1,
+                                        },
+                                    }
+                                }
+                            ],
+                        }
+                        for f in self.findings
+                    ],
+                }
+            ],
+        }
+
+
+def _load_module(path: Path, relpath: str) -> ModuleInfo:
+    source = path.read_text()
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError as exc:
+        raise ConfigurationError(f"cannot parse {relpath}: {exc}") from exc
+    return ModuleInfo(relpath=relpath, tree=tree, source=source)
+
+
+def run_lint(
+    repo_root: Optional[Path] = None,
+    targets: Sequence[str] = (DEFAULT_TARGET,),
+    select: Sequence[str] = (),
+    disable: Sequence[str] = (),
+    baseline: Optional[Baseline] = None,
+) -> LintResult:
+    """Lint ``targets`` (repo-relative files or directories) end to end."""
+    root = (repo_root or default_repo_root()).resolve()
+    files: List[Path] = []
+    for target in targets:
+        path = root / target
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        elif path.is_file():
+            files.append(path)
+        else:
+            raise ConfigurationError(f"lint target not found: {target}")
+    files = sorted(set(files))
+
+    modules: List[ModuleInfo] = []
+    suppression_map: Dict[str, Suppressions] = {}
+    for path in files:
+        relpath = path.relative_to(root).as_posix()
+        module = _load_module(path, relpath)
+        modules.append(module)
+        suppression_map[relpath] = parse_suppressions(module.source)
+
+    paper_path = root / "PAPER.md"
+    eq_table: Optional[EqTable] = None
+    if paper_path.exists():
+        eq_table = build_table(modules, paper_path.read_text())
+
+    project = ProjectInfo(modules=modules, eq_table=eq_table)
+    rules: List[Rule] = select_rules(select, disable)
+
+    raw: List[Finding] = []
+    for module in modules:
+        for rule in rules:
+            if not rule.meta.applies_to(module.relpath):
+                continue
+            raw.extend(rule.check_module(module))
+    for rule in rules:
+        raw.extend(rule.finalize(project))
+
+    kept: List[Finding] = []
+    suppressed: List[Finding] = []
+    for finding in raw:
+        suppressions = suppression_map.get(finding.path)
+        if suppressions is not None and suppressions.is_suppressed(finding):
+            suppressed.append(finding)
+        else:
+            kept.append(finding)
+
+    stale: List[str] = []
+    if baseline is not None:
+        kept, stale = apply_baseline(kept, baseline)
+
+    return LintResult(
+        findings=sorted(kept),
+        suppressed=sorted(suppressed),
+        stale_baseline=stale,
+        eq_table=eq_table,
+        files_checked=len(files),
+        rules_run=[rule.meta.id for rule in rules],
+    )
+
+
+def check_source(
+    rule: Rule,
+    source: str,
+    relpath: str = "src/repro/synthetic.py",
+) -> List[Finding]:
+    """Run one rule over an in-memory snippet (test helper).
+
+    Suppressions in the snippet are honoured; scope (``meta.paths``) is
+    honoured too, so pass a ``relpath`` inside the rule's scope.
+    """
+    tree = ast.parse(source)
+    module = ModuleInfo(relpath=relpath, tree=tree, source=source)
+    if not rule.meta.applies_to(relpath):
+        return []
+    suppressions = parse_suppressions(source)
+    return sorted(
+        finding
+        for finding in rule.check_module(module)
+        if not suppressions.is_suppressed(finding)
+    )

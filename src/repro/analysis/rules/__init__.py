@@ -1,0 +1,13 @@
+"""Built-in lint rules.
+
+Importing this package registers every rule with
+:mod:`repro.analysis.registry` (each rule module applies the
+``@register`` decorator at import time). The rule catalog with
+rationales lives in ``docs/STATIC_ANALYSIS.md``.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import determinism, floats, hygiene, traceability
+
+__all__ = ["determinism", "floats", "hygiene", "traceability"]

@@ -1,0 +1,86 @@
+"""Hygiene rules: RL006 (mutable default args), RL007 (bare except).
+
+Neither rule is determinism-specific; both guard failure modes that
+have historically produced confusing, state-dependent behaviour in
+long-lived simulator objects (shared default containers) and swallowed
+errors in experiment sweeps (bare ``except:`` hiding
+``KeyboardInterrupt`` and real bugs alike).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.findings import Finding
+from repro.analysis.registry import ModuleInfo, Rule, RuleMeta, register
+
+__all__ = ["NoMutableDefaultArgs", "NoBareExcept"]
+
+_MUTABLE_CALLS = {"list", "dict", "set", "defaultdict", "OrderedDict", "Counter"}
+
+
+@register
+class NoMutableDefaultArgs(Rule):
+    """RL006: default argument values must be immutable."""
+
+    meta = RuleMeta(
+        id="RL006",
+        name="no-mutable-default-args",
+        rationale=(
+            "A mutable default is created once and shared by every call; "
+            "simulator state leaking between runs this way is invisible "
+            "to example-based tests. Default to None and construct inside."
+        ),
+    )
+
+    def _is_mutable(self, node: ast.expr) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                             ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            func = node.func
+            name = func.id if isinstance(func, ast.Name) else (
+                func.attr if isinstance(func, ast.Attribute) else None
+            )
+            return name in _MUTABLE_CALLS
+        return False
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = [*node.args.defaults, *node.args.kw_defaults]
+            for default in defaults:
+                if default is not None and self._is_mutable(default):
+                    yield self.finding(
+                        module,
+                        default,
+                        f"mutable default argument in {node.name}(); use "
+                        "None and construct inside the function",
+                    )
+
+
+@register
+class NoBareExcept(Rule):
+    """RL007: ``except:`` must name an exception type."""
+
+    meta = RuleMeta(
+        id="RL007",
+        name="no-bare-except",
+        rationale=(
+            "A bare except swallows KeyboardInterrupt/SystemExit and real "
+            "bugs; catch a concrete exception type (the repo's error "
+            "taxonomy lives in repro.errors)."
+        ),
+    )
+
+    def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
+        for node in ast.walk(module.tree):
+            if isinstance(node, ast.ExceptHandler) and node.type is None:
+                yield self.finding(
+                    module,
+                    node,
+                    "bare 'except:' swallows KeyboardInterrupt and real "
+                    "bugs; catch a concrete exception type",
+                )

@@ -9,6 +9,8 @@ Examples::
     python -m repro all --cache-dir .repro-cache   # reuse finished grid runs
     python -m repro fig7 --trace t.jsonl # stream trace events while running
     python -m repro trace-summary t.jsonl   # render a recorded trace
+    python -m repro lint                 # static analysis (repro-lint)
+    python -m repro lint --eq-table      # paper-equation coverage map
 """
 
 from __future__ import annotations
@@ -48,7 +50,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id, 'all', 'list', or 'trace-summary'",
+        help="experiment id, 'all', 'list', 'lint', or 'trace-summary'",
     )
     parser.add_argument(
         "path",
@@ -155,7 +157,7 @@ def _write_text(path: str, text: str) -> None:
     target.write_text(text)
 
 
-def _build_sink(args) -> Optional[telemetry.JsonlSink]:
+def _build_sink(args: argparse.Namespace) -> Optional[telemetry.JsonlSink]:
     """The trace sink requested on the command line (None = no tracing)."""
     if args.trace is None:
         if args.trace_events:
@@ -165,7 +167,7 @@ def _build_sink(args) -> Optional[telemetry.JsonlSink]:
     return telemetry.JsonlSink(pathlib.Path(args.trace), categories)
 
 
-def _trace_summary(args) -> int:
+def _trace_summary(args: argparse.Namespace) -> int:
     from repro.telemetry.summary import render_trace_summary
 
     if not args.path:
@@ -180,7 +182,13 @@ def _trace_summary(args) -> int:
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    args = build_parser().parse_args(argv)
+    arg_list = list(sys.argv[1:] if argv is None else argv)
+    if arg_list and arg_list[0] == "lint":
+        # The lint subcommand owns its flag set (see repro.analysis.cli).
+        from repro.analysis.cli import main as lint_main
+
+        return lint_main(arg_list[1:])
+    args = build_parser().parse_args(arg_list)
     if args.experiment == "list":
         for experiment_id in experiment_ids():
             experiment = get_experiment(experiment_id)
@@ -199,6 +207,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     sink = _build_sink(args)
     if sink is not None:
         telemetry.PROFILE.reset()
+    # repro-lint: disable=RL002 - wall time feeds only the trace manifest
     wall_start = time.perf_counter()
     with telemetry.tracing(sink), execution(settings):
         if args.experiment == "all":
@@ -227,6 +236,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     print(text)
     if sink is not None:
+        # repro-lint: disable=RL002 - wall time feeds only the trace manifest
         wall = time.perf_counter() - wall_start
         sink.close()
         manifest = telemetry.build_manifest(

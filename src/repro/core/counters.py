@@ -54,6 +54,7 @@ class CounterSample:
         window); callers are expected to fall back to a previous
         estimate in that case.
         """
+        # repro-lint: disable=RL004 - exact zero means "never retired"
         if self.instructions == 0:
             return 0.0
         return self.ipm / (self.cpm + miss_lat)
@@ -61,6 +62,7 @@ class CounterSample:
     @property
     def is_empty(self) -> bool:
         """True when the thread retired nothing during the window."""
+        # repro-lint: disable=RL004 - exact zero means "never retired"
         return self.instructions == 0
 
 

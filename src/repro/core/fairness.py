@@ -24,6 +24,7 @@ __all__ = [
     "speedups",
     "fairness",
     "fairness_from_ipcs",
+    "speedup_ratio_bound",
     "weighted_fairness",
     "weighted_speedup",
     "harmonic_mean_fairness",
@@ -31,8 +32,9 @@ __all__ = [
 
 
 def speedups(ipc_soe: Sequence[float], ipc_st: Sequence[float]) -> list[float]:
-    """Per-thread speedups ``IPC_SOE_j / IPC_ST_j``.
+    """Eq. 3: per-thread speedups ``IPC_SOE_j / IPC_ST_j``.
 
+    How each thread fares under SOE relative to owning the machine.
     ``ipc_st`` values must be positive (a thread that cannot make
     progress alone has no meaningful speedup); ``ipc_soe`` values may be
     zero (a starved thread).
@@ -74,6 +76,24 @@ def fairness(thread_speedups: Sequence[float]) -> float:
 def fairness_from_ipcs(ipc_soe: Sequence[float], ipc_st: Sequence[float]) -> float:
     """Eq. 4 computed directly from the two IPC vectors."""
     return fairness(speedups(ipc_soe, ipc_st))
+
+
+def speedup_ratio_bound(fairness_target: float) -> float:
+    """Eq. 8: the worst-case speedup ratio a target ``F`` admits, ``1/F``.
+
+    Because quotas are capped at each thread's IPM and misses still
+    force switches, enforcement can only narrow speedup ratios: with a
+    target ``F`` the achieved pairwise ratio ``speedup_j / speedup_k``
+    stays within ``[F, 1/F]``. A target of 0 disables enforcement and
+    admits unbounded ratios (returns ``inf``).
+    """
+    if not 0.0 <= fairness_target <= 1.0:
+        raise ConfigurationError(
+            f"fairness target must be in [0, 1], got {fairness_target}"
+        )
+    if fairness_target <= 0.0:
+        return math.inf
+    return 1.0 / fairness_target
 
 
 def weighted_fairness(

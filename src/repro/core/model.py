@@ -32,6 +32,8 @@ __all__ = [
     "SoeModel",
     "compute_ipsw",
     "single_thread_ipc",
+    "soe_ipcs_unenforced",
+    "unenforced_fairness",
 ]
 
 
@@ -81,6 +83,50 @@ def single_thread_ipc(ipm: float, cpm: float, miss_lat: float) -> float:
     return ipm / (cpm + miss_lat)
 
 
+def soe_ipcs_unenforced(
+    ipms: Sequence[float],
+    cpms: Sequence[float],
+    switch_lat: float,
+) -> list[float]:
+    """Eq. 2: ``IPC_SOE_j = IPM_j / sum_k (CPM_k + switch_lat)``.
+
+    Per-thread SOE IPC with no fairness enforcement: every thread runs
+    its full inter-miss segment, so a rotation over all threads takes
+    ``sum_k (CPM_k + S)`` cycles during which thread *j* retires
+    ``IPM_j`` instructions. The shared denominator is the fairness
+    problem in one line — a frequently-missing thread contributes little
+    and receives little. :meth:`SoeModel.soe_ipcs` generalizes this to
+    quota-enforced segments and reduces to it at F = 0.
+    """
+    if len(ipms) != len(cpms):
+        raise ConfigurationError(
+            f"mismatched lengths: {len(ipms)} IPMs vs {len(cpms)} CPMs"
+        )
+    if not ipms:
+        raise ConfigurationError("at least one thread is required")
+    round_cycles = sum(cpms) + switch_lat * len(cpms)
+    if round_cycles <= 0:
+        raise ConfigurationError("rotation must take positive cycles")
+    return [ipm / round_cycles for ipm in ipms]
+
+
+def unenforced_fairness(cpms: Sequence[float], miss_lat: float) -> float:
+    """Eq. 5: ``Fairness(F=0) = min_{j,k} (CPM_j + L) / (CPM_k + L)``.
+
+    Substituting Eq. 1 and Eq. 2 into the fairness metric cancels the
+    IPMs: unenforced fairness is a pure workload property, the worst
+    ratio of per-miss segment durations. Equals
+    ``(CPM_min + L) / (CPM_max + L)``.
+    """
+    if not cpms:
+        raise ConfigurationError("at least one thread is required")
+    if any(cpm <= 0 for cpm in cpms):
+        raise ConfigurationError("CPM values must be positive")
+    if miss_lat < 0:
+        raise ConfigurationError("miss_lat must be non-negative")
+    return (min(cpms) + miss_lat) / (max(cpms) + miss_lat)
+
+
 def compute_ipsw(
     ipm: float,
     ipc_st: float,
@@ -101,6 +147,7 @@ def compute_ipsw(
         raise ConfigurationError(
             f"fairness target must be in [0, 1], got {fairness_target}"
         )
+    # repro-lint: disable=RL004 - F=0 is an exact, validated sentinel input
     if fairness_target == 0.0:
         return math.inf
     quota = ipc_st * (cpm_min + miss_lat) / fairness_target
@@ -189,16 +236,18 @@ class SoeModel:
     # SOE performance
     # ------------------------------------------------------------------
     def soe_ipcs(self, fairness_target: float = 0.0) -> list[float]:
-        """Per-thread SOE IPC (Eq. 6; Eq. 2 when ``fairness_target`` is 0).
+        """Eq. 6: ``IPC_SOE_j = IPSw_j / sum_k (CPSw_k + switch_lat)``.
 
-        ``IPC_SOE_j = IPSw_j / sum_k(CPSw_k + switch_lat)``
+        Per-thread SOE IPC under quota enforcement; with
+        ``fairness_target`` 0 every quota is infinite and this reduces
+        to Eq. 2 (:func:`soe_ipcs_unenforced`).
         """
         ipsws, cpsws = self._ipsw_cpsw(fairness_target)
         round_cycles = sum(cpsws) + self.switch_lat * len(self.threads)
         return [ipsw / round_cycles for ipsw in ipsws]
 
     def throughput(self, fairness_target: float = 0.0) -> float:
-        """Total SOE IPC (Eq. 10)."""
+        """Eq. 10: total SOE throughput ``sum_j IPC_SOE_j``."""
         return sum(self.soe_ipcs(fairness_target))
 
     def speedups(self, fairness_target: float = 0.0) -> list[float]:

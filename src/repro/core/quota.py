@@ -44,7 +44,14 @@ def quotas_from_estimates(
     min_quota: float = 1.0,
     weights: Optional[Sequence[float]] = None,
 ) -> list[float]:
-    """Eq. 9 applied to a window's estimates.
+    """Eq. 7: quotas ``IPSw_j ∝ w_j · IPC_ST_j`` from a window's estimates.
+
+    The speedup-ratio derivation (Eq. 7) shows that *any* common scaling
+    constant ``C`` in ``IPSw_j = IPC_ST_j · C / F`` equalizes speedups;
+    this function implements that general form — per-thread measured
+    latencies and priority weights included — and reduces exactly to the
+    paper's Eq. 9 instantiation (``C = CPM_min + miss_lat``, equal
+    weights; see :func:`repro.core.model.compute_ipsw`).
 
     Parameters
     ----------
@@ -85,6 +92,7 @@ def quotas_from_estimates(
             )
         if any(w <= 0 for w in weights):
             raise ConfigurationError("weights must be positive")
+    # repro-lint: disable=RL004 - F=0 is an exact, validated sentinel input
     if fairness_target == 0.0:
         return [math.inf] * len(estimates)
 

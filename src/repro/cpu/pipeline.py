@@ -46,7 +46,7 @@ class _Inflight:
         "issued", "access", "access_issued_at", "mispredicted", "forwarded",
     )
 
-    def __init__(self, uop: MicroOp, thread_id: int, seq: int, visible_at: int):
+    def __init__(self, uop: MicroOp, thread_id: int, seq: int, visible_at: int) -> None:
         self.uop = uop
         self.thread_id = thread_id
         self.seq = seq
@@ -68,7 +68,7 @@ class _Inflight:
 class _ThreadContext:
     """Per-thread fetch/rename state and raw statistics."""
 
-    def __init__(self, thread_id: int, program: TraceProgram):
+    def __init__(self, thread_id: int, program: TraceProgram) -> None:
         self.thread_id = thread_id
         self.cursor: ProgramCursor = program.cursor()
         #: arch reg -> producing in-flight uop (None = value ready)

@@ -55,7 +55,7 @@ def _run_one(
     pair: BenchmarkPair,
     config: EvalConfig,
     fairness_target: float,
-    ipc_st,
+    ipc_st: tuple[float, ...],
     sample_period: Optional[float] = None,
     max_cycles_quota: Optional[float] = None,
     deficit_cap: Optional[float] = None,

@@ -8,6 +8,7 @@ once and the figure modules post-process it.
 
 from __future__ import annotations
 
+import pathlib
 from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
@@ -151,7 +152,7 @@ def run_all_pairs(
     pairs: Optional[Sequence[BenchmarkPair]] = None,
     *,
     jobs: Optional[int] = None,
-    cache_dir=None,
+    cache_dir: Optional[pathlib.Path] = None,
 ) -> list[PairResult]:
     """Run the full evaluation grid (16 pairs by default).
 

@@ -26,6 +26,7 @@ from typing import Optional
 
 from repro.core.controller import FairnessController, FairnessParams
 from repro.engine.singlethread import run_single_thread
+from repro.engine.segments import SegmentStream
 from repro.engine.soe import RunLimits, SoeParams, run_soe
 from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.events import EventType, mean_event_latency, multi_event_stream
@@ -73,7 +74,7 @@ class EventsResult:
         return measured < wrong
 
 
-def _streams(seed_base: int = 0):
+def _streams(seed_base: int = 0) -> list[SegmentStream]:
     return [
         multi_event_stream(MIXED_IPC, MIXED_EVENTS, seed=seed_base + 31,
                            name="mixed-events"),

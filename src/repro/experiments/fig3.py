@@ -15,7 +15,7 @@ paper's observations, all reproduced by this sweep:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.model import SoeModel, ThreadParams
 from repro.experiments.common import EvalConfig, format_table
@@ -65,7 +65,7 @@ class Fig3Result:
 
 
 def run(
-    cases=PAPER_CASES,
+    cases: Sequence[tuple[tuple[float, float], tuple[float, float]]] = PAPER_CASES,
     miss_lat: Optional[float] = None,
     switch_lat: Optional[float] = None,
     steps: int = 21,

@@ -71,6 +71,7 @@ class SingleThreadTimeline:
         idx = bisect.bisect_left(self._instructions, instructions)
         if idx >= len(self._instructions):
             idx = len(self._instructions) - 1
+        # repro-lint: disable=RL004 - exact bisect hit returns the sample as-is
         if self._instructions[idx] == instructions or idx == 0:
             return self._cycles[idx]
         i0, i1 = self._instructions[idx - 1], self._instructions[idx]

@@ -44,6 +44,7 @@ from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar, Un
 
 from repro.core.controller import FairnessController
 from repro.engine.singlethread import run_single_thread
+from repro.engine.results import SoeRunResult
 from repro.engine.soe import run_soe
 from repro.errors import ConfigurationError
 from repro.experiments.common import EvalConfig, PairResult
@@ -308,7 +309,7 @@ def _run_st_task(task: _StTask) -> float:
     ).ipc
 
 
-def _run_soe_task(task: _SoeTask):
+def _run_soe_task(task: _SoeTask) -> SoeRunResult:
     config = task.config
     streams = task.pair.streams(seed=config.seed)
     if task.level > 0.0:

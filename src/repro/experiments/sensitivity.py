@@ -18,7 +18,7 @@ model and spot-checked against the segment engine:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.model import SoeModel, ThreadParams
 from repro.engine.soe import RunLimits, SoeParams, run_soe
@@ -80,9 +80,9 @@ def _measure_cost(
 
 
 def run(
-    miss_latencies=(75.0, 150.0, 300.0, 600.0, 1_200.0, 2_000.0),
-    switch_latencies=(5.0, 10.0, 25.0, 50.0, 100.0),
-    spot_check=(300.0,),
+    miss_latencies: Sequence[float] = (75.0, 150.0, 300.0, 600.0, 1_200.0, 2_000.0),
+    switch_latencies: Sequence[float] = (5.0, 10.0, 25.0, 50.0, 100.0),
+    spot_check: Sequence[float] = (300.0,),
     config: Optional[EvalConfig] = None,
 ) -> SensitivityResult:
     from repro.experiments.runner import parallel_map

@@ -11,7 +11,7 @@ the unfair-run fraction, and the truncated achieved-fairness means.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
 from repro.experiments.common import EvalConfig, format_table, run_all_pairs
 from repro.experiments.fig6 import Fig6Result
@@ -38,7 +38,7 @@ class StabilityResult:
     outcomes: list[SeedOutcome]
     fairness_levels: tuple[float, ...]
 
-    def spread(self, extract) -> tuple[float, float]:
+    def spread(self, extract: Callable[[SeedOutcome], float]) -> tuple[float, float]:
         values = [extract(outcome) for outcome in self.outcomes]
         return mean(values), stdev(values)
 

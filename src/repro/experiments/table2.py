@@ -21,6 +21,7 @@ from typing import Optional
 from repro.core.controller import FairnessController, FairnessParams
 from repro.core.model import SoeModel, ThreadParams
 from repro.engine.singlethread import run_single_thread
+from repro.engine.segments import SegmentStream
 from repro.engine.soe import RunLimits, SoeParams, run_soe
 from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.synthetic import uniform_stream
@@ -61,6 +62,7 @@ class Table2Result:
     simulated: list[Table2Row]
 
     def fairness(self, rows: list[Table2Row], level: float) -> float:
+        # repro-lint: disable=RL004 - levels are identical config constants
         speedups = [r.speedup for r in rows if r.fairness_target == level]
         return min(speedups) / max(speedups)
 
@@ -83,7 +85,7 @@ def _model_rows() -> list[Table2Row]:
     return rows
 
 
-def _streams(seed_base: int = 0):
+def _streams(seed_base: int = 0) -> list[SegmentStream]:
     return [
         uniform_stream(IPC_NO_MISS, IPM[0], seed=seed_base + 1),
         uniform_stream(IPC_NO_MISS, IPM[1], seed=seed_base + 2),

@@ -16,10 +16,11 @@ thread to make the fairness problem appear.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.controller import FairnessController, FairnessParams
 from repro.engine.singlethread import run_single_thread
+from repro.engine.segments import SegmentStream
 from repro.engine.soe import RunLimits, SoeParams, run_soe
 from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.synthetic import uniform_stream
@@ -63,7 +64,7 @@ class ThreadCountResult:
         return self.rows[-1].num_threads  # pragma: no cover
 
 
-def _memory_streams(num_threads: int, seed_base: int = 0):
+def _memory_streams(num_threads: int, seed_base: int = 0) -> list[SegmentStream]:
     """Pure memory-bound mix: the regime where thread count pays off."""
     return [
         uniform_stream(MEMORY_IPC, MEMORY_IPM, ipm_cv=0.4,
@@ -72,7 +73,7 @@ def _memory_streams(num_threads: int, seed_base: int = 0):
     ]
 
 
-def _mixed_streams(num_threads: int, seed_base: int = 0):
+def _mixed_streams(num_threads: int, seed_base: int = 0) -> list[SegmentStream]:
     """One compute thread + N-1 memory threads: the fairness stressor."""
     streams = [
         uniform_stream(COMPUTE_IPC, COMPUTE_IPM, ipm_cv=0.5,
@@ -83,7 +84,7 @@ def _mixed_streams(num_threads: int, seed_base: int = 0):
 
 
 def run(
-    thread_counts=(2, 3, 4, 5, 6),
+    thread_counts: Sequence[int] = (2, 3, 4, 5, 6),
     fairness_target: float = 0.5,
     min_instructions: Optional[float] = None,
     warmup_instructions: Optional[float] = None,

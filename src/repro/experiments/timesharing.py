@@ -12,11 +12,12 @@ quota and compares against the fairness-enforced run.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.controller import FairnessController, FairnessParams
 from repro.core.policy import TimeSharingPolicy
 from repro.engine.singlethread import run_single_thread
+from repro.engine.segments import SegmentStream
 from repro.engine.soe import RunLimits, SoeParams, run_soe
 from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.synthetic import uniform_stream
@@ -54,7 +55,7 @@ class TimeSharingResult:
         return fairest.total_ipc <= fastest.total_ipc
 
 
-def _streams(seed_base: int = 0):
+def _streams(seed_base: int = 0) -> list[SegmentStream]:
     return [
         uniform_stream(IPC_NO_MISS, IPM[0], seed=seed_base + 1),
         uniform_stream(IPC_NO_MISS, IPM[1], seed=seed_base + 2),
@@ -62,7 +63,7 @@ def _streams(seed_base: int = 0):
 
 
 def run(
-    quotas=(100.0, 200.0, 400.0, 1_000.0, 4_000.0, 16_000.0),
+    quotas: Sequence[float] = (100.0, 200.0, 400.0, 1_000.0, 4_000.0, 16_000.0),
     min_instructions: Optional[float] = None,
     config: Optional[EvalConfig] = None,
 ) -> TimeSharingResult:

@@ -66,6 +66,7 @@ class CpuValidationCase:
 
     @property
     def relative_error(self) -> float:
+        # repro-lint: disable=RL004 - exact zero means "no reference IPC"
         if self.engine_ipc == 0:
             return 0.0
         return abs(self.cpu_ipc - self.engine_ipc) / self.engine_ipc

@@ -14,11 +14,12 @@ the targets.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.controller import FairnessController, FairnessParams
 from repro.core.fairness import weighted_fairness
 from repro.engine.singlethread import run_single_thread
+from repro.engine.segments import SegmentStream
 from repro.engine.soe import RunLimits, SoeParams, run_soe
 from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.synthetic import uniform_stream
@@ -55,7 +56,7 @@ class WeightedResult:
     rows: list[WeightedRow]
 
 
-def _streams(seed_base: int = 0):
+def _streams(seed_base: int = 0) -> list[SegmentStream]:
     return [
         uniform_stream(IPC_NO_MISS, IPM[0], seed=seed_base + 1),
         uniform_stream(IPC_NO_MISS, IPM[1], seed=seed_base + 2),
@@ -63,7 +64,7 @@ def _streams(seed_base: int = 0):
 
 
 def run(
-    weight_ratios=((1.0, 1.0), (2.0, 1.0), (4.0, 1.0), (1.0, 2.0)),
+    weight_ratios: Sequence[tuple[float, float]] = ((1.0, 1.0), (2.0, 1.0), (4.0, 1.0), (1.0, 2.0)),
     fairness_target: float = 1.0,
     min_instructions: Optional[float] = None,
     warmup_instructions: Optional[float] = None,

@@ -36,6 +36,7 @@ def truncated_fairness(achieved: float, fairness_target: float) -> float:
     if not -_FAIRNESS_NOISE <= achieved <= 1.0 + _FAIRNESS_NOISE:
         raise ConfigurationError(f"achieved fairness out of range: {achieved}")
     achieved = min(max(achieved, 0.0), 1.0)
+    # repro-lint: disable=RL004 - F=0 is an exact, validated sentinel input
     if fairness_target == 0.0:
         return achieved
     return min(fairness_target, achieved)

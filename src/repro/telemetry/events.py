@@ -25,7 +25,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Mapping, Optional, Sequence, Union
+from typing import Callable, Mapping, Optional, Sequence, Union
 
 from repro.errors import ConfigurationError
 
@@ -244,7 +244,7 @@ def _string(value: object) -> bool:
     return isinstance(value, str)
 
 
-def _enum(*allowed: str):
+def _enum(*allowed: str) -> Callable[[object], bool]:
     def check(value: object) -> bool:
         return value in allowed
 

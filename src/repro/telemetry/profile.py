@@ -21,7 +21,10 @@ import os
 import sys
 from dataclasses import dataclass, fields as dataclass_fields
 from pathlib import Path
-from typing import Union
+from typing import TYPE_CHECKING, Union
+
+if TYPE_CHECKING:
+    from _typeshed import DataclassInstance
 
 __all__ = [
     "WorkerProfile",
@@ -160,7 +163,7 @@ class RunManifest:
     peak_rss_bytes: int
 
 
-def config_fingerprint(config) -> str:
+def config_fingerprint(config: "DataclassInstance") -> str:
     """Digest identifying what was computed: every config field plus
     the simulator code version (same inputs as the result-cache key)."""
     from repro.experiments.runner import code_version
@@ -176,7 +179,7 @@ def config_fingerprint(config) -> str:
 
 
 def build_manifest(
-    config,
+    config: "DataclassInstance",
     wall_seconds: float,
     workers: int,
     profile: WorkerProfile,

@@ -22,7 +22,7 @@ from repro.telemetry.events import validate_event
 __all__ = ["TraceSummary", "summarize_trace", "render_summary", "render_trace_summary"]
 
 
-def _to_float(value) -> float:
+def _to_float(value: object) -> float:
     """Decode a schema number (non-finite floats travel as strings)."""
     return float(value)
 

@@ -1,0 +1,77 @@
+"""Baseline persistence, matching semantics and the ratchet."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import Baseline, BaselineEntry, apply_baseline
+from repro.analysis.findings import Finding, Severity
+from repro.errors import ConfigurationError
+
+
+def _finding(line: int = 1, message: str = "m", rule: str = "RL004") -> Finding:
+    return Finding(
+        path="src/repro/core/x.py", line=line, col=0, rule=rule,
+        message=message, severity=Severity.ERROR,
+    )
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        baseline = Baseline.from_findings([_finding(), _finding(line=9)])
+        path = tmp_path / "baseline.json"
+        baseline.save(path)
+        loaded = Baseline.load(path)
+        assert loaded.entries.keys() == baseline.entries.keys()
+        assert loaded.total == baseline.total == 2
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert Baseline.load(tmp_path / "nope.json").total == 0
+
+    def test_corrupt_file_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{not json")
+        with pytest.raises(ConfigurationError):
+            Baseline.load(path)
+
+    def test_unknown_format_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"format": 99, "findings": {}}))
+        with pytest.raises(ConfigurationError):
+            Baseline.load(path)
+
+
+class TestMatching:
+    def test_fingerprint_ignores_line_numbers(self):
+        # Baselines must survive unrelated edits that shift code around.
+        assert _finding(line=1).fingerprint == _finding(line=500).fingerprint
+        assert _finding().fingerprint != _finding(message="other").fingerprint
+
+    def test_matching_findings_marked_baselined(self):
+        baseline = Baseline.from_findings([_finding()])
+        kept, stale = apply_baseline([_finding(line=42)], baseline)
+        assert [f.baselined for f in kept] == [True]
+        assert stale == []
+
+    def test_count_limits_how_many_match(self):
+        # One baselined occurrence; two live ones -> one stays active.
+        baseline = Baseline.from_findings([_finding()])
+        kept, _ = apply_baseline([_finding(line=1), _finding(line=2)], baseline)
+        assert sorted(f.baselined for f in kept) == [False, True]
+
+    def test_stale_entries_reported(self):
+        gone = _finding(message="fixed long ago")
+        baseline = Baseline.from_findings([gone])
+        kept, stale = apply_baseline([], baseline)
+        assert kept == []
+        assert len(stale) == 1 and "no longer found" in stale[0]
+
+    def test_ratchet_partial_count_is_stale(self):
+        # 3 grandfathered, only 1 remains -> the 2 unused occurrences
+        # are stale: the ratchet demands the committed count shrink.
+        baseline = Baseline(
+            {_finding().fingerprint: BaselineEntry(3, "example")}
+        )
+        kept, stale = apply_baseline([_finding()], baseline)
+        assert kept[0].baselined
+        assert len(stale) == 1 and "2 baselined occurrence" in stale[0]

@@ -1,0 +1,126 @@
+"""The ``repro lint`` CLI: exit codes, output formats, baseline flow.
+
+Most tests run against a synthetic mini-repo in tmp_path so they are
+independent of the real tree's lint status; the self-check tests in
+test_selfcheck.py cover HEAD.
+"""
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main as lint_main
+
+CLEAN = 'def f(x: float) -> float:\n    """Eq. 1: identity."""\n    return x\n'
+DIRTY = (
+    'def f(x: float) -> bool:\n'
+    '    """Eq. 1: a float comparison."""\n'
+    '    return x == 0.5\n'
+)
+PAPER = "The model is Eq. 1."
+
+
+def _mini_repo(tmp_path, source: str, paper: str = PAPER):
+    pkg = tmp_path / "src" / "repro"
+    pkg.mkdir(parents=True)
+    core = pkg / "core"
+    core.mkdir()
+    core.joinpath("model.py").write_text(source)
+    tmp_path.joinpath("PAPER.md").write_text(paper)
+    return tmp_path
+
+
+def run_cli(repo, *extra: str) -> int:
+    return lint_main(["--repo-root", str(repo), *extra])
+
+
+class TestExitCodes:
+    def test_clean_repo_exits_zero(self, tmp_path, capsys):
+        repo = _mini_repo(tmp_path, CLEAN)
+        assert run_cli(repo) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, tmp_path, capsys):
+        repo = _mini_repo(tmp_path, DIRTY)
+        assert run_cli(repo) == 1
+        assert "RL004" in capsys.readouterr().out
+
+    def test_missing_target_exits_two(self, tmp_path, capsys):
+        repo = _mini_repo(tmp_path, CLEAN)
+        assert run_cli(repo, "no/such/dir") == 2
+
+    def test_select_limits_rules(self, tmp_path):
+        repo = _mini_repo(tmp_path, DIRTY)
+        assert run_cli(repo, "--select", "RL001") == 0
+        assert run_cli(repo, "--select", "RL004") == 1
+
+    def test_disable_drops_rule(self, tmp_path):
+        repo = _mini_repo(tmp_path, DIRTY)
+        assert run_cli(repo, "--disable", "RL004") == 0
+
+
+class TestBaselineFlow:
+    def test_write_then_lint_then_ratchet(self, tmp_path, capsys):
+        repo = _mini_repo(tmp_path, DIRTY)
+        # Grandfather the finding...
+        assert run_cli(repo, "--write-baseline") == 0
+        baseline = json.loads((repo / ".repro-lint-baseline.json").read_text())
+        assert baseline["format"] == 1 and len(baseline["findings"]) == 1
+        # ...now lint is clean, including under the ratchet.
+        assert run_cli(repo) == 0
+        assert run_cli(repo, "--ratchet") == 0
+        # Fix the code: the entry becomes stale; only --ratchet fails.
+        (repo / "src/repro/core/model.py").write_text(CLEAN)
+        capsys.readouterr()
+        assert run_cli(repo) == 0
+        assert run_cli(repo, "--ratchet") == 1
+        assert "stale" in capsys.readouterr().out
+
+    def test_no_baseline_ignores_file(self, tmp_path):
+        repo = _mini_repo(tmp_path, DIRTY)
+        assert run_cli(repo, "--write-baseline") == 0
+        assert run_cli(repo) == 0
+        assert run_cli(repo, "--no-baseline") == 1
+
+
+class TestOutputs:
+    def test_json_to_stdout(self, tmp_path, capsys):
+        repo = _mini_repo(tmp_path, DIRTY)
+        assert run_cli(repo, "--no-baseline", "--quiet", "--json", "-") == 1
+        out = capsys.readouterr().out
+        payload = json.loads(out[out.index("{"):])
+        assert payload["version"] == 1
+        assert payload["summary"]["findings"] == 1
+        assert payload["findings"][0]["rule"] == "RL004"
+
+    def test_json_and_sarif_files(self, tmp_path):
+        repo = _mini_repo(tmp_path, DIRTY)
+        out_json = tmp_path / "out" / "lint.json"
+        out_sarif = tmp_path / "out" / "lint.sarif"
+        run_cli(repo, "--no-baseline", "--json", str(out_json),
+                "--sarif", str(out_sarif))
+        assert json.loads(out_json.read_text())["summary"]["findings"] == 1
+        sarif = json.loads(out_sarif.read_text())
+        assert sarif["version"] == "2.1.0"
+        results = sarif["runs"][0]["results"]
+        assert results and results[0]["ruleId"] == "RL004"
+
+    def test_eq_table_text_and_markdown(self, tmp_path, capsys):
+        repo = _mini_repo(tmp_path, CLEAN)
+        assert run_cli(repo, "--eq-table") == 0
+        assert "traceability" in capsys.readouterr().out
+        assert run_cli(repo, "--eq-table", "--format", "markdown") == 0
+        assert "| " in capsys.readouterr().out
+
+    def test_list_rules(self, tmp_path, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for rule_id in ("RL001", "RL002", "RL003", "RL004", "RL005",
+                        "RL006", "RL007"):
+            assert rule_id in out
+
+    def test_output_file(self, tmp_path):
+        repo = _mini_repo(tmp_path, CLEAN)
+        target = tmp_path / "report.txt"
+        run_cli(repo, "--output", str(target))
+        assert "0 finding(s)" in target.read_text()

@@ -1,0 +1,173 @@
+"""Equation traceability: paper registry parsing, docstring scanning,
+the cross-reference table and the RL005 rule that enforces it."""
+
+import ast
+import textwrap
+
+from repro.analysis.eqmap import build_table, parse_paper_equations, scan_module
+from repro.analysis.registry import ModuleInfo, ProjectInfo, get_rule
+
+PAPER = "The model (Eq. 1) predicts IPC; fairness uses Eqs. 2-3."
+
+
+def _module(source: str, relpath: str = "src/repro/core/x.py") -> ModuleInfo:
+    source = textwrap.dedent(source)
+    return ModuleInfo(relpath=relpath, tree=ast.parse(source), source=source)
+
+
+class TestPaperRegistry:
+    def test_single_and_range_references(self):
+        assert parse_paper_equations(PAPER) == [1, 2, 3]
+
+    def test_equation_spelling_variants(self):
+        text = "Equation 4 and Equations 6-7 and Eq. 9"
+        assert parse_paper_equations(text) == [4, 6, 7, 9]
+
+    def test_no_equations(self):
+        assert parse_paper_equations("no math here") == []
+
+
+class TestDocstringScan:
+    def test_claim_vs_mention(self):
+        module = _module(
+            '''
+            def f(x):
+                """Eq. 2: the unenforced IPC.
+
+                Reduces to Eq. 1 when alone.
+                """
+            '''
+        )
+        claims, mentions = scan_module(module)
+        assert [(c.number, c.qualname) for c in claims] == [(2, "f")]
+        # The claim's own "Eq. 2" is not double-counted as a mention.
+        assert [m.number for m in mentions] == [1]
+
+    def test_method_claims_use_qualified_name(self):
+        module = _module(
+            '''
+            class Model:
+                def soe_ipcs(self):
+                    """Eq. 6: enforced SOE IPC."""
+            '''
+        )
+        claims, _ = scan_module(module)
+        assert claims[0].qualname == "Model.soe_ipcs"
+
+    def test_module_docstring_is_mention_only(self):
+        module = _module('"""Covers Eq. 3 and Eq. 5."""\n')
+        claims, mentions = scan_module(module)
+        assert claims == [] and sorted(m.number for m in mentions) == [3, 5]
+
+
+class TestEqTable:
+    def _table(self, source: str):
+        return build_table([_module(source)], PAPER)
+
+    def test_complete_table(self):
+        table = self._table(
+            '''
+            def a():
+                """Eq. 1: one."""
+            def b():
+                """Eq. 2: two."""
+            def c():
+                """Eq. 3: three."""
+            '''
+        )
+        assert table.is_complete
+        assert [c.qualname for c in table.claimants(1)] == ["a"]
+
+    def test_incomplete_and_renders(self):
+        table = self._table('def a():\n    """Eq. 1: one."""\n')
+        assert not table.is_complete
+        text = table.render_text()
+        assert "Eq." in text and "traceability" in text
+        markdown = table.render_markdown()
+        assert markdown.startswith("|") or "|" in markdown
+
+
+class TestRL005:
+    def _findings(self, source: str):
+        module = _module(source)
+        table = build_table([module], PAPER)
+        project = ProjectInfo(modules=[module], eq_table=table)
+        return sorted(get_rule("RL005").finalize(project))
+
+    def test_complete_coverage_is_clean(self):
+        findings = self._findings(
+            '''
+            def a():
+                """Eq. 1: one."""
+            def b():
+                """Eq. 2: two."""
+            def c():
+                """Eq. 3: three."""
+            '''
+        )
+        assert findings == []
+
+    def test_unclaimed_equation_flagged(self):
+        findings = self._findings(
+            '''
+            def a():
+                """Eq. 1: one."""
+            def b():
+                """Eq. 2: two."""
+            '''
+        )
+        assert len(findings) == 1
+        assert "Eq. 3" in findings[0].message
+        assert findings[0].path == "PAPER.md"
+
+    def test_double_claim_flagged_at_each_site(self):
+        findings = self._findings(
+            '''
+            def a():
+                """Eq. 1: one."""
+            def a2():
+                """Eq. 1: also one."""
+            def b():
+                """Eq. 2: two."""
+            def c():
+                """Eq. 3: three."""
+            '''
+        )
+        assert len(findings) == 2
+        assert all("Eq. 1" in f.message for f in findings)
+
+    def test_unknown_mention_flagged(self):
+        findings = self._findings(
+            '''
+            def a():
+                """Eq. 1: one.
+
+                See Eq. 99 for details.
+                """
+            def b():
+                """Eq. 2: two."""
+            def c():
+                """Eq. 3: three."""
+            '''
+        )
+        assert len(findings) == 1 and "Eq. 99" in findings[0].message
+
+    def test_unknown_claim_flagged(self):
+        findings = self._findings(
+            '''
+            def a():
+                """Eq. 1: one."""
+            def b():
+                """Eq. 2: two."""
+            def c():
+                """Eq. 3: three."""
+            def d():
+                """Eq. 42: not in the paper."""
+            '''
+        )
+        assert any("claims Eq. 42" in f.message for f in findings)
+
+    def test_no_paper_means_no_findings(self):
+        module = _module('def a():\n    """Eq. 1: one."""\n')
+        project = ProjectInfo(modules=[module], eq_table=None)
+        assert list(get_rule("RL005").finalize(project)) == []

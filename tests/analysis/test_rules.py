@@ -1,0 +1,155 @@
+"""Per-rule unit tests: each rule must flag the positive snippet and
+stay silent on the negative one."""
+
+import textwrap
+
+import pytest
+
+from repro.analysis.engine import check_source
+from repro.analysis.registry import get_rule
+
+CORE = "src/repro/core/snippet.py"
+
+
+def run(rule_id: str, source: str, relpath: str = CORE):
+    return check_source(get_rule(rule_id), textwrap.dedent(source), relpath)
+
+
+class TestRL001NoUnseededRandom:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import random\nx = random.random()\n",
+            "import random\nrandom.seed(0)\n",
+            "import random as rnd\nx = rnd.randint(0, 3)\n",
+            "from random import random\nx = random()\n",
+            "import numpy as np\nx = np.random.rand(3)\n",
+        ],
+    )
+    def test_flags_global_rng(self, source):
+        findings = run("RL001", source)
+        assert len(findings) == 1 and findings[0].rule == "RL001"
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import random\nrng = random.Random(7)\nx = rng.random()\n",
+            "from random import Random\nrng = Random(7)\n",
+            "import numpy as np\nrng = np.random.default_rng(7)\n",
+            "x = 1 + 2\n",
+        ],
+    )
+    def test_allows_instance_seeded(self, source):
+        assert run("RL001", source) == []
+
+
+class TestRL002NoWallClock:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import time\nt = time.perf_counter()\n",
+            "import time\nt = time.monotonic_ns()\n",
+            "import datetime\nd = datetime.datetime.now()\n",
+            "from time import perf_counter\nt = perf_counter()\n",
+        ],
+    )
+    def test_flags_wallclock(self, source):
+        findings = run("RL002", source)
+        assert len(findings) == 1 and findings[0].rule == "RL002"
+
+    def test_allows_time_in_telemetry(self):
+        source = "import time\nt = time.perf_counter()\n"
+        assert run("RL002", source, "src/repro/telemetry/snippet.py") == []
+
+    def test_allows_time_in_runner(self):
+        source = "import time\nt = time.perf_counter()\n"
+        assert run("RL002", source, "src/repro/experiments/runner.py") == []
+
+    def test_allows_sleepless_code(self):
+        assert run("RL002", "import time\nx = time.gmtime\n") == []
+
+
+class TestRL003NoOrderingHazard:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "s = {1, 2, 3}\nfor x in s:\n    pass\n",
+            "s = set([1, 2])\nout = list(s)\n",
+            "s = {x for x in range(3)}\nout = [y for y in s]\n",
+            "def f(s: set):\n    for x in s:\n        pass\n",
+        ],
+    )
+    def test_flags_set_iteration(self, source):
+        findings = run("RL003", source)
+        assert findings and all(f.rule == "RL003" for f in findings)
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "s = {1, 2, 3}\nfor x in sorted(s):\n    pass\n",
+            "s = {1, 2}\nout = sorted(s)\n",
+            "d = {'a': 1}\nfor k in d:\n    pass\n",  # dicts are ordered
+            "xs = [1, 2]\nfor x in xs:\n    pass\n",
+        ],
+    )
+    def test_allows_sorted_iteration(self, source):
+        assert run("RL003", source) == []
+
+    def test_out_of_scope_path_ignored(self):
+        source = "s = {1, 2}\nfor x in s:\n    pass\n"
+        assert run("RL003", source, "src/repro/analysis/snippet.py") == []
+
+
+class TestRL004NoFloatEquality:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x = 1.0\nok = x == 0.5\n",
+            "def f(a: float):\n    return a != 0.0\n",
+            "ok = (3 / 4) == 0.75\n",
+            "import math\nok = math.pi == 3.14\n",
+        ],
+    )
+    def test_flags_float_comparison(self, source):
+        findings = run("RL004", source)
+        assert len(findings) == 1 and findings[0].rule == "RL004"
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "x = 1\nok = x == 2\n",  # ints compare exactly
+            "import math\nok = math.isclose(1.0, 1.0)\n",
+            "x = 1.0\nok = x < 0.5\n",  # orderings are fine
+            "s = 'a'\nok = s == 'b'\n",
+        ],
+    )
+    def test_allows_exact_or_tolerant(self, source):
+        assert run("RL004", source) == []
+
+    def test_out_of_scope_path_ignored(self):
+        source = "x = 1.0\nok = x == 0.5\n"
+        assert run("RL004", source, "src/repro/engine/snippet.py") == []
+
+
+class TestRL006NoMutableDefaultArgs:
+    def test_flags_list_default(self):
+        findings = run("RL006", "def f(xs=[]):\n    return xs\n")
+        assert len(findings) == 1 and findings[0].rule == "RL006"
+
+    def test_flags_dict_and_set_defaults(self):
+        assert run("RL006", "def f(d={}):\n    pass\n")
+        assert run("RL006", "def f(s=set()):\n    pass\n")
+
+    def test_allows_none_and_tuple(self):
+        assert run("RL006", "def f(xs=None, t=()):\n    pass\n") == []
+
+
+class TestRL007NoBareExcept:
+    def test_flags_bare_except(self):
+        source = "try:\n    pass\nexcept:\n    pass\n"
+        findings = run("RL007", source)
+        assert len(findings) == 1 and findings[0].rule == "RL007"
+
+    def test_allows_typed_except(self):
+        source = "try:\n    pass\nexcept ValueError:\n    pass\n"
+        assert run("RL007", source) == []

@@ -1,0 +1,114 @@
+"""Closed-form equation functions added for the traceability map.
+
+Checks the free-function forms of Eq. 2 (unenforced SOE IPC), Eq. 5
+(unenforced fairness) and Eq. 8 (speedup-ratio bound) against both
+hand-computed values from the paper's Example 2 and the generalized
+:class:`SoeModel` methods they must reduce to at F = 0.
+"""
+
+import math
+
+import pytest
+
+from repro.core.fairness import speedup_ratio_bound
+from repro.core.model import (
+    SoeModel,
+    ThreadParams,
+    soe_ipcs_unenforced,
+    unenforced_fairness,
+)
+from repro.errors import ConfigurationError
+
+# Example 2 machine constants (Table 2).
+MISS_LAT = 300.0
+SWITCH_LAT = 25.0
+THREADS = [ThreadParams(2.5, 15_000.0), ThreadParams(2.5, 1_000.0)]
+
+
+def _example_model() -> SoeModel:
+    return SoeModel(THREADS, miss_lat=MISS_LAT, switch_lat=SWITCH_LAT)
+
+
+class TestEq2UnenforcedSoeIpc:
+    def test_hand_computed_example2(self):
+        # CPMs: 15000/2.5 = 6000, 1000/2.5 = 400; rotation takes
+        # 6000 + 400 + 2*25 = 6450 cycles.
+        ipcs = soe_ipcs_unenforced([15_000.0, 1_000.0], [6_000.0, 400.0], SWITCH_LAT)
+        assert ipcs == pytest.approx([15_000.0 / 6_450.0, 1_000.0 / 6_450.0])
+
+    def test_reduces_from_soe_model_at_f0(self):
+        model = _example_model()
+        free = soe_ipcs_unenforced(
+            [t.ipm for t in THREADS], [t.cpm for t in THREADS], SWITCH_LAT
+        )
+        assert model.soe_ipcs(0.0) == pytest.approx(free)
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ConfigurationError):
+            soe_ipcs_unenforced([1.0, 2.0], [1.0], 25.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            soe_ipcs_unenforced([], [], 25.0)
+
+    def test_zero_rotation_rejected(self):
+        with pytest.raises(ConfigurationError):
+            soe_ipcs_unenforced([1.0], [0.0], 0.0)
+
+
+class TestEq5UnenforcedFairness:
+    def test_hand_computed_example2(self):
+        # (400 + 300) / (6000 + 300) = 700 / 6300 = 1/9.
+        assert unenforced_fairness([6_000.0, 400.0], MISS_LAT) == pytest.approx(1 / 9)
+
+    def test_matches_soe_model_fairness_at_f0(self):
+        model = _example_model()
+        free = unenforced_fairness([t.cpm for t in THREADS], MISS_LAT)
+        assert model.fairness(0.0) == pytest.approx(free)
+
+    def test_is_ipm_independent(self):
+        # Eq. 5's point: the IPMs cancel, leaving a pure CPM property.
+        a = SoeModel(
+            [ThreadParams(2.0, 12_000.0), ThreadParams(2.0, 800.0)],
+            miss_lat=MISS_LAT,
+            switch_lat=SWITCH_LAT,
+        )
+        b = SoeModel(
+            [ThreadParams(4.0, 24_000.0), ThreadParams(4.0, 1_600.0)],
+            miss_lat=MISS_LAT,
+            switch_lat=SWITCH_LAT,
+        )
+        assert a.fairness(0.0) == pytest.approx(b.fairness(0.0))
+
+    def test_identical_threads_are_perfectly_fair(self):
+        assert unenforced_fairness([500.0, 500.0, 500.0], MISS_LAT) == 1.0
+
+    def test_bad_inputs_rejected(self):
+        with pytest.raises(ConfigurationError):
+            unenforced_fairness([], MISS_LAT)
+        with pytest.raises(ConfigurationError):
+            unenforced_fairness([0.0, 400.0], MISS_LAT)
+        with pytest.raises(ConfigurationError):
+            unenforced_fairness([400.0], -1.0)
+
+
+class TestEq8SpeedupRatioBound:
+    def test_bound_is_reciprocal(self):
+        assert speedup_ratio_bound(0.25) == pytest.approx(4.0)
+        assert speedup_ratio_bound(1.0) == 1.0
+
+    def test_f0_admits_unbounded_ratios(self):
+        assert speedup_ratio_bound(0.0) == math.inf
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            speedup_ratio_bound(-0.1)
+        with pytest.raises(ConfigurationError):
+            speedup_ratio_bound(1.5)
+
+    @pytest.mark.parametrize("target", [0.25, 0.5, 1.0])
+    def test_model_speedups_respect_bound(self, target):
+        model = _example_model()
+        speedups = model.speedups(target)
+        ratio = max(speedups) / min(speedups)
+        assert ratio <= speedup_ratio_bound(target) * (1 + 1e-9)
