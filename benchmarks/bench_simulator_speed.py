@@ -2,8 +2,12 @@
 
 Conventional pytest-benchmark microbenchmarks of the two simulation
 substrates and the mechanism's hot paths, so performance regressions in
-the simulators themselves are visible.
+the simulators themselves are visible. Run lengths are long enough at
+the default scale that wall time measures the simulator, not process
+startup; ``REPRO_BENCH_SCALE=quick`` shortens them for CI smoke runs.
 """
+
+import os
 
 from repro.core.controller import FairnessController, FairnessParams
 from repro.core.counters import CounterSample
@@ -11,6 +15,11 @@ from repro.core.quota import quotas_from_estimates
 from repro.engine.soe import RunLimits, SoeParams, run_soe
 from repro.workloads.synthetic import uniform_stream
 from repro.workloads.tracegen import MEMORY_SPEC, make_trace
+
+_QUICK = os.environ.get("REPRO_BENCH_SCALE") == "quick"
+_ENGINE_INSTRUCTIONS = 200_000 if _QUICK else 2_000_000
+_CORE_INSTRUCTIONS = 4_000 if _QUICK else 20_000
+_CORE_WARMUP = 1_000 if _QUICK else 5_000
 
 
 def test_segment_engine_throughput(benchmark):
@@ -22,7 +31,7 @@ def test_segment_engine_throughput(benchmark):
         return run_soe(
             streams,
             params=SoeParams(),
-            limits=RunLimits(min_instructions=200_000),
+            limits=RunLimits(min_instructions=_ENGINE_INSTRUCTIONS),
         )
 
     result = benchmark(run)
@@ -40,7 +49,7 @@ def test_segment_engine_with_controller(benchmark):
             streams,
             controller,
             SoeParams(),
-            RunLimits(min_instructions=200_000),
+            RunLimits(min_instructions=_ENGINE_INSTRUCTIONS),
         )
 
     result = benchmark(run)
@@ -53,8 +62,8 @@ def test_detailed_core_throughput(benchmark):
 
         return run_cpu_single_thread(
             make_trace(MEMORY_SPEC, seed=1),
-            min_instructions=4_000,
-            warmup_instructions=1_000,
+            min_instructions=_CORE_INSTRUCTIONS,
+            warmup_instructions=_CORE_WARMUP,
         )
 
     result = benchmark.pedantic(run, rounds=2, iterations=1)

@@ -1,0 +1,43 @@
+"""Machine-readable benchmark results: schema, comparison, CLI.
+
+The perf harness (``benchmarks/harness.py``) runs each ``bench_*.py``
+file in a fresh interpreter and writes one schema-validated
+``BENCH_<name>.json`` per file (wall time, simulated cycles/sec,
+events/sec, peak RSS, environment fingerprint). This package holds the
+pure, wall-clock-free half of that pipeline: the result schema, the
+committed-baseline comparison (with cross-machine calibration
+normalization), and the ``python -m repro bench`` subcommand.
+
+See docs/PERFORMANCE.md for the schema and the baseline-update
+procedure.
+"""
+
+from repro.benchmarking.compare import (
+    ComparisonRow,
+    compare_results,
+    regressions,
+    render_comparison,
+    render_markdown,
+)
+from repro.benchmarking.schema import (
+    BENCH_SCHEMA_VERSION,
+    TIER1_BENCHMARKS,
+    bench_result,
+    load_baseline,
+    load_bench_file,
+    validate_bench_result,
+)
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "TIER1_BENCHMARKS",
+    "bench_result",
+    "validate_bench_result",
+    "load_bench_file",
+    "load_baseline",
+    "ComparisonRow",
+    "compare_results",
+    "regressions",
+    "render_comparison",
+    "render_markdown",
+]

@@ -1,0 +1,151 @@
+"""``python -m repro bench`` — run the perf harness / compare results.
+
+Two modes:
+
+* ``repro bench [names...]`` — delegate to ``benchmarks/harness.py``
+  in a subprocess (the harness owns all wall-clock reads and writes
+  ``BENCH_<name>.json`` files).
+* ``repro bench --compare`` — pure read-and-report: load the committed
+  ``benchmarks/baseline.json`` plus the ``BENCH_*.json`` files from the
+  results directory, print the comparison table, and exit non-zero when
+  a tier-1 kernel benchmark regressed by more than the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.benchmarking.compare import (
+    DEFAULT_THRESHOLD,
+    compare_results,
+    regressions,
+    render_comparison,
+    render_markdown,
+)
+from repro.benchmarking.schema import load_baseline, load_bench_file
+from repro.errors import ConfigurationError
+
+__all__ = ["main"]
+
+
+def _repo_root() -> Path:
+    # src/repro/benchmarking/cli.py -> repo root is three levels above src
+    return Path(__file__).resolve().parents[3]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the perf harness or compare results to the baseline.",
+    )
+    parser.add_argument(
+        "names",
+        nargs="*",
+        help="benchmark names to run (default: the harness's default set)",
+    )
+    parser.add_argument(
+        "--compare",
+        action="store_true",
+        help="compare existing BENCH_*.json results against the baseline "
+        "instead of running benchmarks (exits 1 on tier-1 regression)",
+    )
+    parser.add_argument(
+        "--results-dir",
+        type=Path,
+        default=None,
+        help="directory holding BENCH_*.json files "
+        "(default: benchmarks/results)",
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="baseline file (default: benchmarks/baseline.json)",
+    )
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=DEFAULT_THRESHOLD,
+        help="regression gate on normalized cost growth (default 0.25)",
+    )
+    parser.add_argument(
+        "--markdown",
+        type=Path,
+        default=None,
+        help="with --compare: also write the table as markdown to this file",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        help="forwarded to the harness (quick|default; default: "
+        "REPRO_BENCH_SCALE or 'default')",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="forwarded to the harness: rewrite benchmarks/baseline.json "
+        "from this run",
+    )
+    return parser
+
+
+def _compare(args: argparse.Namespace) -> int:
+    root = _repo_root()
+    results_dir = args.results_dir or root / "benchmarks" / "results"
+    baseline_path = args.baseline or root / "benchmarks" / "baseline.json"
+    baseline = load_baseline(baseline_path)
+    current: dict = {}
+    for path in sorted(results_dir.glob("BENCH_*.json")):
+        result = load_bench_file(path)
+        current[result["name"]] = result
+    if not current:
+        print(f"no BENCH_*.json files in {results_dir}", file=sys.stderr)
+        return 2
+    rows = compare_results(baseline, current, threshold=args.threshold)
+    print(render_comparison(rows))
+    if args.markdown is not None:
+        args.markdown.parent.mkdir(parents=True, exist_ok=True)
+        args.markdown.write_text(render_markdown(rows) + "\n")
+    regressed = regressions(rows)
+    if regressed:
+        print(
+            f"\nFAIL: tier-1 regression(s) beyond "
+            f"{args.threshold:.0%}: {', '.join(regressed)}",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK: no tier-1 regression beyond the threshold")
+    return 0
+
+
+def _run_harness(args: argparse.Namespace) -> int:
+    harness = _repo_root() / "benchmarks" / "harness.py"
+    if not harness.exists():
+        print(f"harness not found at {harness}", file=sys.stderr)
+        return 2
+    cmd: List[str] = [sys.executable, str(harness)]
+    if args.scale is not None:
+        cmd += ["--scale", args.scale]
+    if args.results_dir is not None:
+        cmd += ["--out", str(args.results_dir)]
+    if args.baseline is not None:
+        cmd += ["--baseline", str(args.baseline)]
+    if args.update_baseline:
+        cmd.append("--update-baseline")
+    cmd += list(args.names)
+    return subprocess.call(cmd)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        if args.compare:
+            return _compare(args)
+        return _run_harness(args)
+    except ConfigurationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

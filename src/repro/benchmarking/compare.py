@@ -1,0 +1,150 @@
+"""Baseline comparison for benchmark results.
+
+Raw wall time is not comparable across machines, so the gate compares
+*normalized cost*: ``wall_seconds * calibration_ops_per_sec``, where
+the calibration factor is the throughput of a fixed pure-Python loop
+measured by the harness in the same process environment as the
+benchmarks. A faster host lowers wall time and raises the calibration
+factor by roughly the same ratio, so the product tracks the amount of
+simulator work done, not the host. A benchmark regresses when its
+normalized cost grows by more than ``threshold`` (25% by default)
+relative to the committed baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Mapping, Sequence
+
+from repro.benchmarking.schema import TIER1_BENCHMARKS
+
+__all__ = [
+    "DEFAULT_THRESHOLD",
+    "ComparisonRow",
+    "normalized_cost",
+    "compare_results",
+    "regressions",
+    "render_comparison",
+    "render_markdown",
+]
+
+DEFAULT_THRESHOLD = 0.25
+
+
+@dataclass(frozen=True)
+class ComparisonRow:
+    """One benchmark's baseline-vs-current comparison."""
+
+    name: str
+    baseline_wall: float
+    current_wall: float
+    #: normalized-cost ratio baseline/current (>1 means faster now)
+    speedup: float
+    #: normalized-cost growth current/baseline - 1 (>0 means slower now)
+    cost_growth: float
+    tier1: bool
+    regressed: bool
+
+
+def normalized_cost(result: Mapping[str, Any]) -> float:
+    """Machine-independent cost of one run (see module docstring)."""
+    calibration = float(result["env"]["calibration_ops_per_sec"])
+    if calibration <= 0:
+        calibration = 1.0
+    return float(result["wall_seconds"]) * calibration
+
+
+def compare_results(
+    baseline: Mapping[str, Mapping[str, Any]],
+    current: Mapping[str, Mapping[str, Any]],
+    threshold: float = DEFAULT_THRESHOLD,
+    tier1: Sequence[str] = TIER1_BENCHMARKS,
+) -> List[ComparisonRow]:
+    """Compare current results against the baseline, sorted by name.
+
+    Benchmarks present on only one side are skipped — the gate is about
+    regressions in benchmarks both runs measured.
+    """
+    tier1_set = set(tier1)
+    rows: List[ComparisonRow] = []
+    for name in sorted(set(baseline) & set(current)):
+        base_cost = normalized_cost(baseline[name])
+        cur_cost = normalized_cost(current[name])
+        if base_cost <= 0 or cur_cost <= 0:
+            continue
+        growth = cur_cost / base_cost - 1.0
+        rows.append(
+            ComparisonRow(
+                name=name,
+                baseline_wall=float(baseline[name]["wall_seconds"]),
+                current_wall=float(current[name]["wall_seconds"]),
+                speedup=base_cost / cur_cost,
+                cost_growth=growth,
+                tier1=name in tier1_set,
+                regressed=name in tier1_set and growth > threshold,
+            )
+        )
+    return rows
+
+
+def regressions(rows: Iterable[ComparisonRow]) -> List[str]:
+    return [row.name for row in rows if row.regressed]
+
+
+def _row_cells(row: ComparisonRow) -> Dict[str, str]:
+    return {
+        "name": row.name + (" *" if row.tier1 else ""),
+        "base": f"{row.baseline_wall:.3f}s",
+        "cur": f"{row.current_wall:.3f}s",
+        "speedup": f"{row.speedup:.2f}x",
+        "status": "REGRESSED" if row.regressed else "ok",
+    }
+
+
+def render_comparison(rows: Sequence[ComparisonRow]) -> str:
+    """Plain-text comparison table (* marks gated tier-1 benchmarks)."""
+    if not rows:
+        return "no benchmarks common to baseline and current results"
+    cells = [_row_cells(row) for row in rows]
+    header = {
+        "name": "benchmark",
+        "base": "baseline",
+        "cur": "current",
+        "speedup": "speedup",
+        "status": "status",
+    }
+    widths = {
+        key: max(len(header[key]), *(len(c[key]) for c in cells))
+        for key in header
+    }
+    lines = [
+        "  ".join(header[key].ljust(widths[key]) for key in header),
+        "  ".join("-" * widths[key] for key in header),
+    ]
+    for c in cells:
+        lines.append("  ".join(c[key].ljust(widths[key]) for key in header))
+    lines.append("(* = tier-1 kernel benchmark, gated in CI; "
+                 "speedup is normalized baseline_cost/current_cost)")
+    return "\n".join(lines)
+
+
+def render_markdown(rows: Sequence[ComparisonRow]) -> str:
+    """GitHub-flavored markdown table for the CI step summary."""
+    if not rows:
+        return "_no benchmarks common to baseline and current results_"
+    lines = [
+        "| benchmark | baseline wall | current wall | speedup | status |",
+        "|---|---:|---:|---:|---|",
+    ]
+    for row in rows:
+        c = _row_cells(row)
+        status = "**REGRESSED**" if row.regressed else "ok"
+        lines.append(
+            f"| {c['name']} | {c['base']} | {c['cur']} | {c['speedup']} | {status} |"
+        )
+    lines.append("")
+    lines.append(
+        "\\* = tier-1 kernel benchmark (gated); speedup is the "
+        "calibration-normalized cost ratio baseline/current."
+    )
+    return "\n".join(lines)

@@ -1,0 +1,164 @@
+"""Schema for machine-readable benchmark results.
+
+One ``BENCH_<name>.json`` per benchmark file, written by
+``benchmarks/harness.py`` and validated here before anything consumes
+it. Keeping validation in pure code (no wall-clock reads) lets the
+``repro bench --compare`` path run under the repo's determinism lint
+without exemptions.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Mapping, Tuple
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BENCH_SCHEMA_VERSION",
+    "TIER1_BENCHMARKS",
+    "bench_result",
+    "validate_bench_result",
+    "load_bench_file",
+    "load_baseline",
+]
+
+#: Bump when a field is added/renamed; compare refuses mismatched versions.
+BENCH_SCHEMA_VERSION = 1
+
+#: Kernel benchmarks gated by CI: a >25% normalized-cost regression on
+#: any of these fails the bench-smoke job (see docs/PERFORMANCE.md).
+TIER1_BENCHMARKS = ("bench_detailed_core", "bench_simulator_speed")
+
+#: field name -> (required, allowed types)
+_FIELDS: Dict[str, Tuple[bool, tuple]] = {
+    "schema_version": (True, (int,)),
+    "name": (True, (str,)),
+    "scale": (True, (str,)),
+    "wall_seconds": (True, (int, float)),
+    "simulated_cycles": (True, (int, float)),
+    "simulated_cycles_per_sec": (True, (int, float)),
+    "events": (True, (int, float)),
+    "events_per_sec": (True, (int, float)),
+    "peak_rss_bytes": (True, (int,)),
+    "exit_status": (True, (int,)),
+    "env": (True, (dict,)),
+}
+
+_ENV_FIELDS: Dict[str, Tuple[bool, tuple]] = {
+    "python": (True, (str,)),
+    "implementation": (True, (str,)),
+    "platform": (True, (str,)),
+    "machine": (True, (str,)),
+    "calibration_ops_per_sec": (True, (int, float)),
+}
+
+
+def bench_result(
+    *,
+    name: str,
+    scale: str,
+    wall_seconds: float,
+    simulated_cycles: float,
+    events: float,
+    peak_rss_bytes: int,
+    exit_status: int,
+    env: Mapping[str, Any],
+) -> Dict[str, Any]:
+    """Assemble and validate one benchmark-result record."""
+    wall = float(wall_seconds)
+    result: Dict[str, Any] = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "name": name,
+        "scale": scale,
+        "wall_seconds": wall,
+        "simulated_cycles": float(simulated_cycles),
+        "simulated_cycles_per_sec": (
+            float(simulated_cycles) / wall if wall > 0 else 0.0
+        ),
+        "events": float(events),
+        "events_per_sec": float(events) / wall if wall > 0 else 0.0,
+        "peak_rss_bytes": int(peak_rss_bytes),
+        "exit_status": int(exit_status),
+        "env": dict(env),
+    }
+    return validate_bench_result(result)
+
+
+def validate_bench_result(result: Mapping[str, Any]) -> Dict[str, Any]:
+    """Check one record against the schema; raise ConfigurationError."""
+    if not isinstance(result, Mapping):
+        raise ConfigurationError("bench result must be a JSON object")
+    for field, (required, types) in _FIELDS.items():
+        if field not in result:
+            if required:
+                raise ConfigurationError(f"bench result missing field {field!r}")
+            continue
+        value = result[field]
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise ConfigurationError(
+                f"bench result field {field!r} has type "
+                f"{type(value).__name__}, expected {'/'.join(t.__name__ for t in types)}"
+            )
+    version = result["schema_version"]
+    if version != BENCH_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"bench result schema_version {version} != {BENCH_SCHEMA_VERSION}"
+        )
+    env = result["env"]
+    for field, (required, types) in _ENV_FIELDS.items():
+        if field not in env:
+            if required:
+                raise ConfigurationError(f"bench env missing field {field!r}")
+            continue
+        value = env[field]
+        if isinstance(value, bool) or not isinstance(value, types):
+            raise ConfigurationError(
+                f"bench env field {field!r} has type "
+                f"{type(value).__name__}, expected {'/'.join(t.__name__ for t in types)}"
+            )
+    unknown = sorted(set(result) - set(_FIELDS))
+    if unknown:
+        raise ConfigurationError(f"bench result has unknown fields: {unknown}")
+    return dict(result)
+
+
+def load_bench_file(path: Path) -> Dict[str, Any]:
+    """Load and validate one ``BENCH_<name>.json`` file."""
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read bench result {path}: {exc}") from exc
+    result = validate_bench_result(raw)
+    expected = f"BENCH_{result['name']}.json"
+    if path.name != expected:
+        raise ConfigurationError(
+            f"bench result {path} names benchmark {result['name']!r} "
+            f"(expected file name {expected})"
+        )
+    return result
+
+
+def load_baseline(path: Path) -> Dict[str, Dict[str, Any]]:
+    """Load ``baseline.json``: a map of benchmark name -> result record."""
+    try:
+        raw = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(raw, dict) or "benchmarks" not in raw:
+        raise ConfigurationError(f"baseline {path} must have a 'benchmarks' map")
+    version = raw.get("schema_version")
+    if version != BENCH_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"baseline schema_version {version} != {BENCH_SCHEMA_VERSION}"
+        )
+    benchmarks: Dict[str, Dict[str, Any]] = {}
+    for name, record in raw["benchmarks"].items():
+        result = validate_bench_result(record)
+        if result["name"] != name:
+            raise ConfigurationError(
+                f"baseline entry {name!r} holds result for {result['name']!r}"
+            )
+        benchmarks[name] = result
+    return benchmarks

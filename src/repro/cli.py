@@ -11,6 +11,8 @@ Examples::
     python -m repro trace-summary t.jsonl   # render a recorded trace
     python -m repro lint                 # static analysis (repro-lint)
     python -m repro lint --eq-table      # paper-equation coverage map
+    python -m repro bench                # perf harness (BENCH_*.json)
+    python -m repro bench --compare      # gate against benchmarks/baseline.json
 """
 
 from __future__ import annotations
@@ -50,7 +52,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id, 'all', 'list', 'lint', or 'trace-summary'",
+        help="experiment id, 'all', 'list', 'lint', 'bench', or "
+        "'trace-summary'",
     )
     parser.add_argument(
         "path",
@@ -188,6 +191,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.analysis.cli import main as lint_main
 
         return lint_main(arg_list[1:])
+    if arg_list and arg_list[0] == "bench":
+        # The bench subcommand owns its flag set (see repro.benchmarking.cli).
+        from repro.benchmarking.cli import main as bench_main
+
+        return bench_main(arg_list[1:])
     args = build_parser().parse_args(arg_list)
     if args.experiment == "list":
         for experiment_id in experiment_ids():

@@ -19,6 +19,12 @@ __all__ = ["BranchPredictor"]
 class BranchPredictor:
     """gshare (global history XOR pc) with 2-bit counters and a BTB."""
 
+    __slots__ = (
+        "history_bits", "table_entries", "btb_entries", "_history",
+        "_history_mask", "_counters", "_btb", "predictions",
+        "mispredictions",
+    )
+
     def __init__(
         self,
         history_bits: int = 12,

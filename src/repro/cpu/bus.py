@@ -16,6 +16,8 @@ __all__ = ["PipelinedBus"]
 class PipelinedBus:
     """Grants bus slots; each transfer holds the bus ``occupancy`` cycles."""
 
+    __slots__ = ("occupancy", "_free_at", "transfers")
+
     def __init__(self, occupancy: int) -> None:
         if occupancy < 0:
             raise ConfigurationError("bus occupancy must be non-negative")

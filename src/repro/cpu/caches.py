@@ -26,6 +26,12 @@ class Cache:
     bus traffic.
     """
 
+    __slots__ = (
+        "config", "name", "_sets", "hits", "misses", "writebacks",
+        "_line_bytes", "_num_sets", "_associativity",
+        "last_eviction_was_dirty", "last_victim_line",
+    )
+
     def __init__(self, config: CacheConfig, name: str = "") -> None:
         self.config = config
         self.name = name
@@ -36,12 +42,22 @@ class Cache:
         self.hits = 0
         self.misses = 0
         self.writebacks = 0
+        # Geometry scalars, hoisted out of the per-access path.
+        self._line_bytes = config.line_bytes
+        self._num_sets = config.num_sets
+        self._associativity = config.associativity
+        #: Set by the most recent :meth:`access`; True when it evicted a
+        #: dirty line (write-back traffic).
+        self.last_eviction_was_dirty = False
+        #: Line number of the most recent eviction victim (None if the
+        #: last access evicted nothing).
+        self.last_victim_line: "int | None" = None
 
     def _locate(self, address: int) -> tuple[int, int]:
         if address < 0:
             raise ConfigurationError("addresses must be non-negative")
-        line = address // self.config.line_bytes
-        return line % self.config.num_sets, line // self.config.num_sets
+        line = address // self._line_bytes
+        return line % self._num_sets, line // self._num_sets
 
     def lookup(self, address: int, update_lru: bool = True) -> bool:
         """Probe without allocating: True on hit."""
@@ -73,22 +89,15 @@ class Cache:
             return True
         self.misses += 1
         cache_set[tag] = is_write
-        if len(cache_set) > self.config.associativity:
+        if len(cache_set) > self._associativity:
             victim_tag, dirty = cache_set.popitem(last=False)  # evict LRU
             self.last_victim_line = (
-                victim_tag * self.config.num_sets + set_index
+                victim_tag * self._num_sets + set_index
             )
             if dirty:
                 self.writebacks += 1
                 self.last_eviction_was_dirty = True
         return False
-
-    #: Set by the most recent :meth:`access`; True when it evicted a
-    #: dirty line (write-back traffic).
-    last_eviction_was_dirty: bool = False
-    #: Line number of the most recent eviction victim (None if the last
-    #: access evicted nothing).
-    last_victim_line = None
 
     def contains(self, address: int) -> bool:
         """Non-destructive membership check (no LRU update)."""

@@ -27,6 +27,12 @@ __all__ = ["BankedDram"]
 class BankedDram:
     """Open-page DRAM with per-bank row buffers."""
 
+    __slots__ = (
+        "base_latency", "row_penalty", "num_banks", "row_bytes",
+        "bank_occupancy", "_open_rows", "_bank_free_at", "fills",
+        "row_hits", "row_misses",
+    )
+
     def __init__(
         self,
         base_latency: int = 240,

@@ -16,6 +16,8 @@ __all__ = ["FixedLatencyMemory"]
 class FixedLatencyMemory:
     """Constant-latency memory."""
 
+    __slots__ = ("latency", "fills")
+
     def __init__(self, latency: int) -> None:
         if latency < 0:
             raise ConfigurationError("memory latency must be non-negative")

@@ -19,12 +19,22 @@ Trace-driven modelling choices (standard for this class of simulator):
 wrong-path execution is approximated by stalling fetch from a
 mispredicted branch until it resolves plus a redirect penalty, and
 architectural values are never computed.
+
+Performance notes (see docs/PERFORMANCE.md): every hot structure uses
+``__slots__``, uop decode happens once at fetch via a precomputed
+table (port index, kind, latency) instead of per-cycle enum dispatch,
+store-to-load forwarding uses an address-indexed ROB store map, and
+the main loop fast-forwards over provably idle cycles straight to the
+next retirement / wakeup / frontend / quota / Delta-boundary event.
+All of these are bit-identical transformations -- golden tests in
+``tests/integration/test_golden_kernels.py`` pin the exact outputs.
 """
 
 from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
+from math import ceil, isinf
 from typing import Optional, Sequence
 
 from repro.core.policy import NoFairnessPolicy, SwitchPolicy
@@ -37,6 +47,15 @@ from repro.errors import ConfigurationError, SimulationError
 
 __all__ = ["CpuThreadStats", "CpuRunResult", "OooPipeline"]
 
+# Uop kinds: the execute/retire dispatch key, decoded once at fetch.
+_KIND_SIMPLE = 0  # ALU / NOP / MUL / FP
+_KIND_BRANCH = 1
+_KIND_STORE = 2
+_KIND_LOAD = 3
+
+# Issue-port indices (ALU-class ops share port 0).
+_PORT_ALU, _PORT_MUL, _PORT_FP, _PORT_LOAD, _PORT_STORE = range(5)
+
 
 class _Inflight:
     """One in-flight uop instance."""
@@ -44,6 +63,7 @@ class _Inflight:
     __slots__ = (
         "uop", "thread_id", "seq", "visible_at", "deps", "completed_at",
         "issued", "access", "access_issued_at", "mispredicted", "forwarded",
+        "port", "kind", "exec_latency",
     )
 
     def __init__(self, uop: MicroOp, thread_id: int, seq: int, visible_at: int) -> None:
@@ -58,6 +78,9 @@ class _Inflight:
         self.access_issued_at: Optional[int] = None
         self.mispredicted = False
         self.forwarded = False
+        self.port = _PORT_ALU
+        self.kind = _KIND_SIMPLE
+        self.exec_latency = 1
 
     def ready(self, now: int) -> bool:
         return all(
@@ -67,6 +90,12 @@ class _Inflight:
 
 class _ThreadContext:
     """Per-thread fetch/rename state and raw statistics."""
+
+    __slots__ = (
+        "thread_id", "cursor", "producers", "ready_at", "last_dispatch_seq",
+        "current_fetch_line", "retired", "run_cycles", "misses",
+        "miss_switches", "forced_switches", "cycle_quota_switches",
+    )
 
     def __init__(self, thread_id: int, program: TraceProgram) -> None:
         self.thread_id = thread_id
@@ -163,6 +192,9 @@ class OooPipeline:
         self._loads_in_flight = 0
         #: senior stores: (thread_id, address) awaiting cache drain
         self._store_buffer: deque[tuple[int, int]] = deque()
+        #: address -> seqs of un-retired active-thread stores in the ROB
+        #: (in program order), so forwarding lookups skip the ROB scan
+        self._rob_stores: dict[int, deque[int]] = {}
 
         self._fetch_resume_at = 0
         self._pending_branch: Optional[_Inflight] = None
@@ -170,18 +202,67 @@ class OooPipeline:
         self._first_retire_seen = False
         self._switch_started_at: Optional[int] = None
         self.switch_latencies: list[int] = []
+        #: min ready_at over pending (not-ready, not-exhausted) threads,
+        #: refreshed by each _pick_ready call (satellite: no per-cycle
+        #: list rebuild in the no-runnable idle-skip)
+        self._pending_ready_min: Optional[int] = None
+        self._total_retired = 0
+
+        # Decode table: OpClass -> (issue port, kind, execute latency),
+        # consulted once per fetched uop instead of per issue attempt.
+        self._decode: dict[OpClass, tuple[int, int, int]] = {
+            OpClass.ALU: (_PORT_ALU, _KIND_SIMPLE, config.alu_latency),
+            OpClass.NOP: (_PORT_ALU, _KIND_SIMPLE, config.alu_latency),
+            OpClass.BRANCH: (_PORT_ALU, _KIND_BRANCH, config.alu_latency),
+            OpClass.MUL: (_PORT_MUL, _KIND_SIMPLE, config.mul_latency),
+            OpClass.FP: (_PORT_FP, _KIND_SIMPLE, config.fp_latency),
+            OpClass.LOAD: (_PORT_LOAD, _KIND_LOAD, 0),
+            OpClass.STORE: (_PORT_STORE, _KIND_STORE, 1),
+        }
+        self._port_limits = (
+            config.alu_ports, config.mul_ports, config.fp_ports,
+            config.load_ports, config.store_ports,
+        )
+        # Invariant config scalars, hoisted out of the cycle loop.
+        self._fetch_width = config.fetch_width
+        self._rename_width = config.rename_width
+        self._retire_width = config.retire_width
+        self._rob_entries = config.rob_entries
+        self._rs_entries = config.rs_entries
+        self._load_buffer_entries = config.load_buffer_entries
+        self._store_buffer_entries = config.store_buffer_entries
+        self._fetch_queue_entries = config.fetch_queue_entries
+        self._frontend_latency = config.frontend_latency
+        self._branch_redirect_penalty = config.branch_redirect_penalty
+        self._l1i_line_bytes = config.l1i.line_bytes
+        self._l1i_latency = config.l1i.latency
+        self._l1d_latency = config.l1d.latency
+        self._max_cycles_quota = config.max_cycles_quota
+        self._switch_on_l1 = config.switch_event == "l1"
 
     # ------------------------------------------------------------------
     # Scheduling / switching
     # ------------------------------------------------------------------
     def _pick_ready(self) -> Optional[_ThreadContext]:
-        ready = [
-            t for t in self.threads
-            if t.ready_at <= self.now and not t.cursor.exhausted
-        ]
-        if not ready:
-            return None
-        return min(ready, key=lambda t: t.last_dispatch_seq)
+        """Oldest-dispatch ready thread; refreshes the cached minimum
+        ``ready_at`` over pending threads in the same single pass."""
+        now = self.now
+        best: Optional[_ThreadContext] = None
+        best_seq = 0
+        pending_min: Optional[int] = None
+        for t in self.threads:
+            if t.cursor.exhausted:
+                continue
+            r = t.ready_at
+            if r <= now:
+                s = t.last_dispatch_seq
+                if best is None or s < best_seq:
+                    best = t
+                    best_seq = s
+            elif pending_min is None or r < pending_min:
+                pending_min = r
+        self._pending_ready_min = pending_min
+        return best
 
     def _dispatch(self, thread: _ThreadContext) -> None:
         thread.last_dispatch_seq = self._dispatch_counter
@@ -210,6 +291,7 @@ class OooPipeline:
         # All in-flight uops belong to the active thread by construction.
         self._rob.clear()
         self._rs.clear()
+        self._rob_stores.clear()
         self._loads_in_flight = 0
         self._pending_branch = None
         flushed.sort(key=lambda u: u.seq)
@@ -234,43 +316,55 @@ class OooPipeline:
         thread = self._active
         if thread is None:
             return 0
+        rob = self._rob
+        if not rob:
+            return 0
+        now = self.now
         retired = 0
         multithreaded = len(self.threads) > 1
-        while retired < self.config.retire_width and self._rob:
-            head = self._rob[0]
-            if head.completed_at is None or head.completed_at > self.now:
+        retire_width = self._retire_width
+        while retired < retire_width and rob:
+            head = rob[0]
+            completed_at = head.completed_at
+            if completed_at is None or completed_at > now:
                 if (
                     multithreaded
-                    and head.uop.opclass is OpClass.LOAD
+                    and head.kind == _KIND_LOAD
                     and head.issued
                     and head.access is not None
                     and self._is_switch_event(head.access)
-                    and head.completed_at is not None
-                    and head.completed_at > self.now
+                    and completed_at is not None
                 ):
                     # SOE trigger: unresolved miss at the ROB head.
                     thread.misses += 1
                     thread.miss_switches += 1
                     latency = None
                     if head.access_issued_at is not None:
-                        latency = float(head.completed_at - head.access_issued_at)
+                        latency = float(completed_at - head.access_issued_at)
                     self.policy.on_miss(
-                        thread.thread_id, float(self.now), latency=latency
+                        thread.thread_id, float(now), latency=latency
                     )
-                    self._switch_out("miss", head.completed_at)
+                    self._switch_out("miss", completed_at)
                     return retired
                 break
-            if head.uop.opclass is OpClass.STORE:
-                if len(self._store_buffer) >= self.config.store_buffer_entries:
+            kind = head.kind
+            if kind == _KIND_STORE:
+                if len(self._store_buffer) >= self._store_buffer_entries:
                     break  # retirement stalls on a full store buffer
-                self._store_buffer.append((head.thread_id, head.uop.address))
-            if head.uop.opclass is OpClass.LOAD:
+                address = head.uop.address
+                self._store_buffer.append((head.thread_id, address))
+                seqs = self._rob_stores[address]
+                seqs.popleft()
+                if not seqs:
+                    del self._rob_stores[address]
+            elif kind == _KIND_LOAD:
                 self._loads_in_flight -= 1
-            self._rob.popleft()
+            rob.popleft()
             thread.retired += 1
+            self._total_retired += 1
             retired += 1
             if self._switch_started_at is not None:
-                self.switch_latencies.append(self.now - self._switch_started_at)
+                self.switch_latencies.append(now - self._switch_started_at)
                 self._switch_started_at = None
         return retired
 
@@ -281,74 +375,68 @@ class OooPipeline:
         misses that go to memory); ``"l1"`` also switches on L1 misses
         that hit the L2 -- the dMT-style Section 6 variant.
         """
-        if self.config.switch_event == "l1":
+        if self._switch_on_l1:
             return access.level != "l1"
         return access.l2_miss
 
-    def _issue(self) -> None:
-        if not self._rs:
-            return
-        ports = {
-            OpClass.ALU: self.config.alu_ports,
-            OpClass.NOP: self.config.alu_ports,
-            OpClass.BRANCH: self.config.alu_ports,
-            OpClass.MUL: self.config.mul_ports,
-            OpClass.FP: self.config.fp_ports,
-            OpClass.LOAD: self.config.load_ports,
-            OpClass.STORE: self.config.store_ports,
-        }
-        used: dict[OpClass, int] = {}
-        issued: list[_Inflight] = []
-        # ALU-class ops share ports; track jointly. The RS list is kept
-        # in seq (age) order by construction, so oldest-first scheduling
-        # is a plain scan.
-        shared_alu = (OpClass.ALU, OpClass.NOP, OpClass.BRANCH)
-        for entry in self._rs:
-            opclass = entry.uop.opclass
-            key = OpClass.ALU if opclass in shared_alu else opclass
-            if used.get(key, 0) >= ports[key]:
-                continue
-            if not entry.ready(self.now):
-                continue
-            used[key] = used.get(key, 0) + 1
-            self._execute(entry)
-            issued.append(entry)
-        for entry in issued:
-            self._rs.remove(entry)
+    def _issue(self) -> int:
+        rs = self._rs
+        if not rs:
+            return 0
+        now = self.now
+        free = list(self._port_limits)
+        issued = 0
+        # ALU-class ops share port 0 (decoded at fetch). The RS list is
+        # kept in seq (age) order by construction, so oldest-first
+        # scheduling is a plain scan; the keep-list rebuild preserves
+        # that order for the survivors.
+        keep: list[_Inflight] = []
+        keep_append = keep.append
+        for entry in rs:
+            if free[entry.port]:
+                for d in entry.deps:
+                    completed_at = d.completed_at
+                    if completed_at is None or completed_at > now:
+                        keep_append(entry)
+                        break
+                else:
+                    free[entry.port] -= 1
+                    self._execute(entry)
+                    issued += 1
+            else:
+                keep_append(entry)
+        if issued:
+            self._rs = keep
+        return issued
 
     def _execute(self, entry: _Inflight) -> None:
         entry.issued = True
-        opclass = entry.uop.opclass
-        if opclass in (OpClass.ALU, OpClass.NOP):
-            entry.completed_at = self.now + self.config.alu_latency
-        elif opclass is OpClass.MUL:
-            entry.completed_at = self.now + self.config.mul_latency
-        elif opclass is OpClass.FP:
-            entry.completed_at = self.now + self.config.fp_latency
-        elif opclass is OpClass.BRANCH:
-            entry.completed_at = self.now + self.config.alu_latency
-            if entry.mispredicted:
-                # Fetch resumes after resolve + redirect penalty.
-                self._fetch_resume_at = max(
-                    self._fetch_resume_at,
-                    entry.completed_at + self.config.branch_redirect_penalty,
-                )
-                if self._pending_branch is entry:
-                    self._pending_branch = None
-        elif opclass is OpClass.STORE:
-            # Stores only generate their address before retirement.
-            entry.completed_at = self.now + 1
-        elif opclass is OpClass.LOAD:
+        now = self.now
+        kind = entry.kind
+        if kind == _KIND_SIMPLE:
+            entry.completed_at = now + entry.exec_latency
+        elif kind == _KIND_LOAD:
             if self._forwarding_hit(entry):
                 entry.forwarded = True
-                entry.completed_at = self.now + 1 + self.config.l1d.latency
+                entry.completed_at = now + 1 + self._l1d_latency
             else:
-                access = self.hierarchy.data_access(entry.uop.address, self.now + 1)
+                access = self.hierarchy.data_access(entry.uop.address, now + 1)
                 entry.access = access
-                entry.access_issued_at = self.now + 1
+                entry.access_issued_at = now + 1
                 entry.completed_at = access.ready_at
-        else:  # pragma: no cover - exhaustive enum
-            raise SimulationError(f"unknown op class {opclass}")
+        elif kind == _KIND_BRANCH:
+            completed_at = now + entry.exec_latency
+            entry.completed_at = completed_at
+            if entry.mispredicted:
+                # Fetch resumes after resolve + redirect penalty.
+                resume = completed_at + self._branch_redirect_penalty
+                if resume > self._fetch_resume_at:
+                    self._fetch_resume_at = resume
+                if self._pending_branch is entry:
+                    self._pending_branch = None
+        else:  # _KIND_STORE
+            # Stores only generate their address before retirement.
+            entry.completed_at = now + 1
 
     def _forwarding_hit(self, load: _Inflight) -> bool:
         """Store-to-load forwarding: an older same-thread store to the
@@ -362,94 +450,118 @@ class OooPipeline:
                 # forwarded (Section 4.1); the load must access the
                 # cache.
                 return False
-        for entry in self._rob:
-            if entry.seq >= load.seq:
-                break
-            if (
-                entry.uop.opclass is OpClass.STORE
-                and entry.uop.address == address
-                and entry.thread_id == load.thread_id
-            ):
-                return True
-        return False
+        # Every un-retired ROB store belongs to the active thread, so
+        # the address index fully replaces the ROB scan.
+        seqs = self._rob_stores.get(address)
+        return seqs is not None and seqs[0] < load.seq
 
-    def _rename(self) -> None:
+    def _rename(self) -> int:
         thread = self._active
         if thread is None:
-            return
+            return 0
+        fq = self._fetch_queue
+        if not fq:
+            return 0
+        now = self.now
+        rob = self._rob
+        rs = self._rs
+        producers = thread.producers
         renamed = 0
-        while renamed < self.config.rename_width and self._fetch_queue:
-            entry = self._fetch_queue[0]
-            if entry.visible_at > self.now:
-                break
-            if len(self._rob) >= self.config.rob_entries:
-                break
-            if len(self._rs) >= self.config.rs_entries:
-                break
+        rename_width = self._rename_width
+        rob_entries = self._rob_entries
+        rs_entries = self._rs_entries
+        while renamed < rename_width and fq:
+            entry = fq[0]
             if (
-                entry.uop.opclass is OpClass.LOAD
-                and self._loads_in_flight >= self.config.load_buffer_entries
+                entry.visible_at > now
+                or len(rob) >= rob_entries
+                or len(rs) >= rs_entries
             ):
                 break
-            self._fetch_queue.popleft()
+            kind = entry.kind
+            if (
+                kind == _KIND_LOAD
+                and self._loads_in_flight >= self._load_buffer_entries
+            ):
+                break
+            fq.popleft()
+            deps = entry.deps
             for reg in entry.uop.srcs:
-                producer = thread.producers[reg]
-                if producer is not None and producer.completed_at is None:
-                    entry.deps.append(producer)
-                elif producer is not None:
-                    entry.deps.append(producer)
-            if entry.uop.dest is not None:
-                thread.producers[entry.uop.dest] = entry
-            if entry.uop.opclass is OpClass.LOAD:
+                producer = producers[reg]
+                if producer is not None:
+                    deps.append(producer)
+            dest = entry.uop.dest
+            if dest is not None:
+                producers[dest] = entry
+            if kind == _KIND_LOAD:
                 self._loads_in_flight += 1
-            self._rob.append(entry)
-            self._rs.append(entry)
+            elif kind == _KIND_STORE:
+                address = entry.uop.address
+                seqs = self._rob_stores.get(address)
+                if seqs is None:
+                    self._rob_stores[address] = deque((entry.seq,))
+                else:
+                    seqs.append(entry.seq)
+            rob.append(entry)
+            rs.append(entry)
             renamed += 1
+        return renamed
 
-    def _fetch(self) -> None:
+    def _fetch(self) -> int:
         thread = self._active
         if thread is None:
-            return
+            return 0
         if self.now < self._fetch_resume_at:
-            return
+            return 0
         if self._pending_branch is not None:
-            return  # stalled behind an unresolved mispredicted branch
+            return 0  # stalled behind an unresolved mispredicted branch
+        now = self.now
+        fq = self._fetch_queue
+        cursor = thread.cursor
         fetched = 0
-        while (
-            fetched < self.config.fetch_width
-            and len(self._fetch_queue) < self.config.fetch_queue_entries
-        ):
-            uop = thread.cursor.fetch()
+        fetch_width = self._fetch_width
+        fetch_queue_entries = self._fetch_queue_entries
+        line_bytes = self._l1i_line_bytes
+        while fetched < fetch_width and len(fq) < fetch_queue_entries:
+            uop = cursor.fetch()
             if uop is None:
                 break
-            line = uop.pc // self.config.l1i.line_bytes
+            line = uop.pc // line_bytes
             if line != thread.current_fetch_line:
                 thread.current_fetch_line = line
-                access = self.hierarchy.fetch_access(uop.pc, self.now)
-                if access.ready_at > self.now + self.config.l1i.latency:
+                access = self.hierarchy.fetch_access(uop.pc, now)
+                if access.ready_at > now + self._l1i_latency:
                     # I-cache (or iTLB) miss: this uop arrives late and
                     # fetch stalls until the line is in.
                     self._fetch_resume_at = access.ready_at
                     entry = self._make_entry(uop, thread, access.ready_at)
-                    self._fetch_queue.append(entry)
+                    fq.append(entry)
                     self._maybe_stall_on_branch(entry)
-                    return
-            entry = self._make_entry(uop, thread, self.now)
-            self._fetch_queue.append(entry)
+                    return fetched + 1
+            entry = self._make_entry(uop, thread, now)
+            fq.append(entry)
             fetched += 1
             if self._maybe_stall_on_branch(entry):
-                return
+                return fetched
+        return fetched
 
     def _make_entry(self, uop: MicroOp, thread: _ThreadContext, fetch_time: int) -> _Inflight:
+        try:
+            port, kind, latency = self._decode[uop.opclass]
+        except KeyError:  # pragma: no cover - exhaustive enum
+            raise SimulationError(f"unknown op class {uop.opclass}") from None
         entry = _Inflight(
             uop, thread.thread_id, self._seq,
-            fetch_time + self.config.frontend_latency,
+            fetch_time + self._frontend_latency,
         )
+        entry.port = port
+        entry.kind = kind
+        entry.exec_latency = latency
         self._seq += 1
         return entry
 
     def _maybe_stall_on_branch(self, entry: _Inflight) -> bool:
-        if entry.uop.opclass is not OpClass.BRANCH:
+        if entry.kind != _KIND_BRANCH:
             return False
         correct = self.predictor.predict_and_update(entry.uop)
         if not correct:
@@ -481,11 +593,99 @@ class OooPipeline:
         dispatch_cycles = self.now - self._dispatch_start
         budget = min(
             self.policy.cycle_budget(thread.thread_id),
-            self.config.max_cycles_quota,
+            self._max_cycles_quota,
         )
         if dispatch_cycles >= budget:
             thread.cycle_quota_switches += 1
             self._switch_out("cycle_quota", self.now)
+
+    # ------------------------------------------------------------------
+    # Event-driven fast-forward
+    # ------------------------------------------------------------------
+    def _next_event_cycle(
+        self, thread: _ThreadContext, multithreaded: bool, max_cycles: int
+    ) -> int:
+        """First future cycle at which a provably idle pipeline can act.
+
+        Called right after a cycle in which every stage did nothing (no
+        retire/issue/rename/fetch/drain, no switch, empty store buffer).
+        In that state the machine is frozen until one of a small set of
+        timed events; anything the skipped cycles *would* have done is
+        replayed in batch by the caller (``run_cycles`` and the policy's
+        ``on_retired`` cycle accounting are linear in cycles). The
+        returned cycle is a safe lower bound on the next event:
+
+        * ROB-head completion (retirement, and the SOE miss trigger's
+          own resolution -- if the trigger were armed it would already
+          have fired this cycle);
+        * RS wakeup: the earliest ``max(dep.completed_at)`` over
+          entries whose deps are all scheduled (the oldest unissued
+          entry always qualifies, and ports are free when nothing
+          issued);
+        * frontend: the fetch-queue head's ``visible_at`` when rename
+          has room, or ``_fetch_resume_at`` when fetch is merely
+          waiting out a redirect/i-miss/drain;
+        * quota horizon: ``dispatch_cycles`` grows by 1/cycle and the
+          cycle budget shrinks by at most 1/cycle, so the quota check
+          cannot trip for another ceil(slack/2) cycles;
+        * the next Delta boundary (``ceil`` of the policy's boundary,
+          which fires at the first integer cycle >= it);
+        * the run's ``max_cycles`` horizon.
+        """
+        now = self.now  # first not-yet-simulated cycle
+        target = max_cycles
+        rob = self._rob
+        if rob:
+            completed_at = rob[0].completed_at
+            if completed_at is not None and completed_at < target:
+                target = completed_at
+        for entry in self._rs:
+            wake = 0
+            for d in entry.deps:
+                completed_at = d.completed_at
+                if completed_at is None:
+                    wake = -1
+                    break
+                if completed_at > wake:
+                    wake = completed_at
+            if wake >= 0 and wake < target:
+                target = wake
+        fq = self._fetch_queue
+        if (
+            fq
+            and len(rob) < self._rob_entries
+            and len(self._rs) < self._rs_entries
+        ):
+            head = fq[0]
+            if not (
+                head.kind == _KIND_LOAD
+                and self._loads_in_flight >= self._load_buffer_entries
+            ):
+                if head.visible_at < target:
+                    target = head.visible_at
+        if (
+            len(fq) < self._fetch_queue_entries
+            and self._pending_branch is None
+            and not thread.cursor.exhausted
+        ):
+            if self._fetch_resume_at < target:
+                target = self._fetch_resume_at
+        if multithreaded:
+            budget = min(
+                self.policy.cycle_budget(thread.thread_id),
+                self._max_cycles_quota,
+            )
+            # The quota check last ran (and passed) at cycle now - 1.
+            slack = budget - (now - 1 - self._dispatch_start)
+            horizon = now - 1 + int(ceil(slack / 2.0))
+            if horizon < target:
+                target = horizon
+        boundary = self.policy.next_boundary(float(now - 1))
+        if not isinf(boundary):
+            boundary_cycle = int(ceil(boundary))
+            if boundary_cycle < target:
+                target = boundary_cycle
+        return target if target > now else now
 
     # ------------------------------------------------------------------
     # Main loop
@@ -505,17 +705,26 @@ class OooPipeline:
             snapshot_time = 0
             snapshots = [t.snapshot() for t in self.threads]
 
+        policy = self.policy
+        threads = self.threads
+        multithreaded = len(threads) > 1
+        retire = self._retire
+        issue = self._issue
+        rename = self._rename
+        fetch = self._fetch
+        store_buffer = self._store_buffer
+        hierarchy_store = self.hierarchy.store_access
+        thread_finished = self._thread_finished
+
         while self.now < max_cycles:
-            if all(
-                self._thread_finished(t, min_instructions) for t in self.threads
-            ):
+            if all(thread_finished(t, min_instructions) for t in threads):
                 break
             if (
                 snapshot_time is None
-                and sum(t.retired for t in self.threads) >= warmup_instructions
+                and self._total_retired >= warmup_instructions
             ):
                 snapshot_time = self.now
-                snapshots = [t.snapshot() for t in self.threads]
+                snapshots = [t.snapshot() for t in threads]
                 self.hierarchy.reset_statistics()
                 self.predictor.reset_statistics()
                 self.switch_latencies = []
@@ -536,32 +745,35 @@ class OooPipeline:
                 candidate = self._pick_ready()
                 if candidate is not None:
                     self._dispatch(candidate)
-                elif all(t.cursor.exhausted for t in self.threads):
-                    break
                 else:
+                    pending_min = self._pending_ready_min
+                    if pending_min is None:
+                        break  # every thread's trace is exhausted
                     # Nothing runnable: skip idle time in one hop (the
                     # store buffer still drains one store per cycle).
-                    pending = [
-                        t.ready_at for t in self.threads if not t.cursor.exhausted
-                    ]
-                    target = min(min(pending), max_cycles)
-                    while self._store_buffer and self.now < target:
+                    target = min(pending_min, max_cycles)
+                    while store_buffer and self.now < target:
                         self._drain_stores()
                         self.now += 1
-                    boundary = self.policy.next_boundary(float(self.now))
+                    boundary = policy.next_boundary(float(self.now))
                     while boundary < target:
                         self.now = int(boundary)
-                        self.policy.on_boundary(boundary)
-                        boundary = self.policy.next_boundary(float(self.now))
+                        policy.on_boundary(boundary)
+                        boundary = policy.next_boundary(float(self.now))
                     if self.now < target:
                         self.now = target
                     continue
 
-            retired_now = self._retire()
-            self._issue()
-            self._rename()
-            self._fetch()
-            self._drain_stores()
+            retired_now = retire()
+            issued = issue()
+            renamed = rename()
+            fetched = fetch()
+            if store_buffer:
+                drained = True
+                _, address = store_buffer.popleft()
+                hierarchy_store(address, self.now)
+            else:
+                drained = False
 
             thread = self._active
             if thread is not None:
@@ -569,16 +781,37 @@ class OooPipeline:
                     self._first_retire_seen = True
                 if self._first_retire_seen:
                     thread.run_cycles += 1
-                    self.policy.on_retired(thread.thread_id, retired_now, 1.0)
+                    policy.on_retired(thread.thread_id, retired_now, 1.0)
                 elif retired_now:  # pragma: no cover - defensive
-                    self.policy.on_retired(thread.thread_id, retired_now, 0.0)
+                    policy.on_retired(thread.thread_id, retired_now, 0.0)
                 self._check_quotas()
 
-            boundary = self.policy.next_boundary(float(self.now))
+            boundary = policy.next_boundary(float(self.now))
             if boundary <= self.now:
-                self.policy.on_boundary(boundary)
+                policy.on_boundary(boundary)
 
             self.now += 1
+
+            if (
+                thread is not None
+                and self._active is thread
+                and not retired_now
+                and not issued
+                and not renamed
+                and not fetched
+                and not drained
+                and not store_buffer
+            ):
+                # Provably idle cycle: every skipped cycle up to the
+                # next event would repeat it verbatim, so replay their
+                # only side effects (cycle accounting) in one batch.
+                target = self._next_event_cycle(thread, multithreaded, max_cycles)
+                skipped = target - self.now
+                if skipped > 0:
+                    if self._first_retire_seen:
+                        thread.run_cycles += skipped
+                        policy.on_retired(thread.thread_id, 0, float(skipped))
+                    self.now = target
 
         if snapshot_time is None:
             snapshot_time = 0

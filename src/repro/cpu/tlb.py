@@ -18,6 +18,8 @@ __all__ = ["Tlb"]
 class Tlb:
     """A fully-associative translation buffer."""
 
+    __slots__ = ("entries", "page_bytes", "name", "_pages", "hits", "misses")
+
     def __init__(self, entries: int, page_bytes: int, name: str = "") -> None:
         if entries <= 0:
             raise ConfigurationError("TLB needs at least one entry")

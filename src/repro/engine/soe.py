@@ -39,9 +39,14 @@ from repro.telemetry.events import segment_end, stall, thread_switch
 from repro.telemetry.profile import PROFILE
 from repro.telemetry.sinks import TraceSink
 
-__all__ = ["SoeParams", "RunLimits", "SoeEngine", "run_soe"]
+__all__ = ["SoeParams", "RunLimits", "SoeEngine", "run_soe", "MAX_EVENTS"]
 
 _EPS = 1e-9
+
+#: Watchdog on boundary-callback storms: a single simulated instant may
+#: fire at most this many policy/recorder boundaries before the engine
+#: concludes the callbacks are failing to advance their schedule.
+MAX_EVENTS = 1_000_000
 
 
 @dataclass(frozen=True)
@@ -115,7 +120,14 @@ class SoeEngine:
         self.recorder = recorder
         # Tracing is observation only; a disabled (ambient) sink
         # resolves to None so the hot path pays one `is not None` test.
+        # Category membership is static per sink, so the per-event
+        # `wants(SWITCH)` test collapses to one precomputed boolean --
+        # a NullSink run pays nothing on the event path.
         self._trace = resolve_sink(sink)
+        trace = self._trace
+        self._emit_switch = (
+            trace.emit if trace is not None and trace.wants(_TRACE_SWITCH) else None
+        )
         self.threads = [EngineThread(i, s) for i, s in enumerate(streams)]
         self.now = 0.0
         self.idle_cycles = 0.0
@@ -123,41 +135,82 @@ class SoeEngine:
         self._active: Optional[EngineThread] = None
         self._dispatch_seq = 0
         self._dispatch_cycles = 0.0
+        # Hot-path caches: the policy/recorder/params identities are
+        # fixed for the engine's lifetime, so bind their methods and
+        # scalars once instead of re-resolving attributes per event.
+        policy = self.policy
+        self._policy_next_boundary = policy.next_boundary
+        self._policy_instruction_budget = policy.instruction_budget
+        self._policy_cycle_budget = policy.cycle_budget
+        self._policy_on_retired = policy.on_retired
+        self._recorder_next_boundary = (
+            recorder.next_boundary if recorder is not None else None
+        )
+        self._switch_lat = params.switch_lat
+        self._miss_lat = params.miss_lat
+        self._max_cycles_quota = params.max_cycles_quota
 
     # ------------------------------------------------------------------
     # Boundary plumbing (policy Delta boundaries + recorder intervals)
     # ------------------------------------------------------------------
     def _next_boundary(self) -> float:
-        boundary = self.policy.next_boundary(self.now)
-        if self.recorder is not None:
-            boundary = min(boundary, self.recorder.next_boundary(self.now))
+        boundary = self._policy_next_boundary(self.now)
+        recorder_next = self._recorder_next_boundary
+        if recorder_next is not None:
+            boundary = min(boundary, recorder_next(self.now))
         return boundary
 
     def _fire_due_boundaries(self) -> None:
-        for _ in range(1_000_000):
+        policy = self.policy
+        recorder = self.recorder
+        threshold = self.now + _EPS
+        # Fast path: nothing due (the overwhelmingly common case).
+        if self._policy_next_boundary(self.now) > threshold and (
+            recorder is None or recorder.next_boundary(self.now) > threshold
+        ):
+            return
+        for _ in range(MAX_EVENTS):
             fired = False
-            if self.policy.next_boundary(self.now) <= self.now + _EPS:
-                self.policy.on_boundary(self.policy.next_boundary(self.now))
+            if policy.next_boundary(self.now) <= self.now + _EPS:
+                policy.on_boundary(policy.next_boundary(self.now))
                 fired = True
             if (
-                self.recorder is not None
-                and self.recorder.next_boundary(self.now) <= self.now + _EPS
+                recorder is not None
+                and recorder.next_boundary(self.now) <= self.now + _EPS
             ):
-                self.recorder.on_boundary(self.recorder.next_boundary(self.now), self)
+                recorder.on_boundary(recorder.next_boundary(self.now), self)
                 fired = True
             if not fired:
                 return
-        raise SimulationError("boundary callbacks failed to advance their schedule")
+        states = "; ".join(
+            f"T{t.thread_id}: retired={t.retired:.0f} ready_at={t.ready_at:.1f} "
+            f"done={t.done} active={t is self._active}"
+            for t in self.threads
+        )
+        raise SimulationError(
+            f"boundary callbacks failed to advance their schedule after "
+            f"{MAX_EVENTS} firings at t={self.now:.1f} "
+            f"({self.now:.1f} cycles elapsed); threads: {states}"
+        )
 
     def _elapse_inactive(self, duration: float, kind: str) -> None:
         """Pass non-executing time (idle or switch overhead), splitting
         at boundaries so sampling periods stay exact."""
-        if (
-            kind == "idle"
-            and self._trace is not None
-            and self._trace.wants(_TRACE_SWITCH)
-        ):
-            self._trace.emit(stall(self.now, duration, "engine"))
+        if kind == "idle" and self._emit_switch is not None:
+            self._emit_switch(stall(self.now, duration, "engine"))
+        if duration <= _EPS:
+            return
+        if self._next_boundary() == math.inf:
+            # No boundary can fire inside the span (nothing advances a
+            # policy/recorder schedule while the core is not executing),
+            # so the whole duration elapses in one step -- the same
+            # single `+=` the loop below would perform.
+            self.now += duration
+            if kind == "idle":
+                self.idle_cycles += duration
+            else:
+                self.switch_overhead_cycles += duration
+            return
         remaining = duration
         while remaining > _EPS:
             boundary = self._next_boundary()
@@ -178,23 +231,29 @@ class SoeEngine:
     # ------------------------------------------------------------------
     def _pick_ready(self) -> Optional[EngineThread]:
         """Least-recently-dispatched ready thread (round-robin order)."""
-        ready = [t for t in self.threads if t.is_ready(self.now)]
-        if not ready:
-            return None
-        return min(ready, key=lambda t: t.last_dispatch_seq)
+        threshold = self.now + _EPS
+        best: Optional[EngineThread] = None
+        best_seq = 0
+        for t in self.threads:
+            if not t.done and t.ready_at <= threshold:
+                seq = t.last_dispatch_seq
+                if best is None or seq < best_seq:
+                    best = t
+                    best_seq = seq
+        return best
 
     def _dispatch(self, thread: EngineThread) -> None:
         thread.last_dispatch_seq = self._dispatch_seq
         self._dispatch_seq += 1
         self._active = thread
         self._dispatch_cycles = 0.0
-        self._elapse_inactive(self.params.switch_lat, "switch")
+        self._elapse_inactive(self._switch_lat, "switch")
         self.policy.on_run_start(thread.thread_id, self.now)
 
     def _switch_out(self, reason: str) -> None:
         assert self._active is not None
-        if self._trace is not None and self._trace.wants(_TRACE_SWITCH):
-            self._trace.emit(
+        if self._emit_switch is not None:
+            self._emit_switch(
                 thread_switch(self.now, self._active.thread_id, reason, "engine")
             )
         self.policy.on_switch_out(self._active.thread_id, reason, self.now)
@@ -212,20 +271,25 @@ class SoeEngine:
         if limits.warmup_instructions == 0:
             snapshot = _Snapshot(self)
 
-        while not self._finished(limits):
-            if self.now >= limits.max_cycles:
+        finished = self._finished
+        step_active = self._step_active
+        pick_ready = self._pick_ready
+        max_cycles = limits.max_cycles
+        warmup_instructions = limits.warmup_instructions
+        while not finished(limits):
+            if self.now >= max_cycles:
                 break
-            if snapshot is None and self._total_retired() >= limits.warmup_instructions:
+            if snapshot is None and self._total_retired() >= warmup_instructions:
                 snapshot = _Snapshot(self)
 
             if self._active is None:
-                thread = self._pick_ready()
+                thread = pick_ready()
                 if thread is None:
                     self._idle_until_ready(limits)
                     continue
                 self._dispatch(thread)
                 continue
-            self._step_active(limits)
+            step_active(limits)
 
         if snapshot is None:
             # The run ended inside warmup; measure the whole run instead
@@ -270,13 +334,23 @@ class SoeEngine:
             self._fire_due_boundaries()
             return
 
-        ipc = thread.ipc
-        t_segment = thread.cycles_to_segment_end
-        instr_budget = self.policy.instruction_budget(tid)
+        # Inlined EngineThread.ipc / cycles_to_segment_end / advance /
+        # at_segment_end: this is the hottest method of the engine, and
+        # each property is a function call the loop pays per event. The
+        # arithmetic (values and operation order) is exactly the
+        # originals', so results stay bit-identical.
+        segment = thread.segment
+        if segment is None:
+            raise SimulationError(f"thread {tid} has no active segment")
+        ipc = thread._segment_ipc
+        t_segment = segment.cycles - thread.segment_cycles_done
+        if t_segment < 0.0:
+            t_segment = 0.0
+        instr_budget = self._policy_instruction_budget(tid)
         t_instr = instr_budget / ipc if math.isfinite(instr_budget) else math.inf
         cycle_budget = min(
-            self.policy.cycle_budget(tid),
-            self.params.max_cycles_quota - self._dispatch_cycles,
+            self._policy_cycle_budget(tid),
+            self._max_cycles_quota - self._dispatch_cycles,
         )
         t_cycle = max(cycle_budget, 0.0)
 
@@ -299,13 +373,18 @@ class SoeEngine:
                 self._switch_out("cycle_quota")
             return
 
-        retired = thread.advance(dt)
+        retired = dt * ipc
+        thread.segment_cycles_done += dt
+        thread.retired += retired
+        thread.run_cycles += dt
         self._dispatch_cycles += dt
         self.now += dt
-        self.policy.on_retired(tid, retired, dt)
+        self._policy_on_retired(tid, retired, dt)
         self._fire_due_boundaries()
 
-        if dt >= t_segment - _EPS and thread.at_segment_end:
+        if dt >= t_segment - _EPS and (
+            segment.cycles - thread.segment_cycles_done <= _EPS
+        ):
             self._complete_segment(thread)
         elif dt >= t_instr - _EPS:
             thread.forced_switches += 1
@@ -318,9 +397,9 @@ class SoeEngine:
         # else: the step ended at a boundary; keep running the same thread.
 
     def _complete_segment(self, thread: EngineThread) -> None:
-        latency = thread.finish_segment(self.now, self.params.miss_lat)
-        if self._trace is not None and self._trace.wants(_TRACE_SWITCH):
-            self._trace.emit(segment_end(self.now, thread.thread_id, latency))
+        latency = thread.finish_segment(self.now, self._miss_lat)
+        if self._emit_switch is not None:
+            self._emit_switch(segment_end(self.now, thread.thread_id, latency))
         if latency is not None:
             thread.miss_switches += 1
             self.policy.on_miss(thread.thread_id, self.now, latency=latency)

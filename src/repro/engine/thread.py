@@ -20,6 +20,13 @@ class EngineThread:
     and the raw lifetime statistics the engine reports.
     """
 
+    __slots__ = (
+        "thread_id", "_iterator", "segment", "segment_cycles_done",
+        "ready_at", "done", "last_dispatch_seq", "retired", "run_cycles",
+        "misses", "miss_switches", "forced_switches",
+        "cycle_quota_switches", "_segment_ipc",
+    )
+
     def __init__(self, thread_id: int, stream: SegmentStream) -> None:
         self.thread_id = thread_id
         self._iterator: Iterator[Segment] = stream.segments()
@@ -31,6 +38,9 @@ class EngineThread:
         self.done = False
         #: scheduling recency (engine bumps this at each dispatch)
         self.last_dispatch_seq = -1
+        #: the active segment's retirement rate, cached at segment load
+        #: so the hot path pays no per-event property/division churn
+        self._segment_ipc = 0.0
 
         # Lifetime statistics (the engine snapshots these at warmup).
         self.retired = 0.0
@@ -45,11 +55,13 @@ class EngineThread:
     # ------------------------------------------------------------------
     def _load_next_segment(self) -> None:
         try:
-            self.segment = next(self._iterator)
+            segment = next(self._iterator)
         except StopIteration:
             self.segment = None
             self.done = True
             return
+        self.segment = segment
+        self._segment_ipc = segment.instructions / segment.cycles
         self.segment_cycles_done = 0.0
 
     # ------------------------------------------------------------------
@@ -58,13 +70,15 @@ class EngineThread:
         """Retirement rate of the current segment."""
         if self.segment is None:
             raise SimulationError(f"thread {self.thread_id} has no active segment")
-        return self.segment.ipc
+        return self._segment_ipc
 
     @property
     def cycles_to_segment_end(self) -> float:
-        if self.segment is None:
+        segment = self.segment
+        if segment is None:
             raise SimulationError(f"thread {self.thread_id} has no active segment")
-        return max(0.0, self.segment.cycles - self.segment_cycles_done)
+        remaining = segment.cycles - self.segment_cycles_done
+        return remaining if remaining > 0.0 else 0.0
 
     def is_ready(self, now: float) -> bool:
         return not self.done and self.ready_at <= now + _EPS
@@ -76,16 +90,20 @@ class EngineThread:
         Returns the number of instructions retired. The caller must not
         advance past the segment end.
         """
-        if self.segment is None:
+        segment = self.segment
+        if segment is None:
             raise SimulationError(f"thread {self.thread_id} advanced with no segment")
         if cycles < 0:
             raise SimulationError("cannot advance a negative duration")
-        if cycles > self.cycles_to_segment_end + 1e-6:
+        remaining = segment.cycles - self.segment_cycles_done
+        if remaining < 0.0:
+            remaining = 0.0
+        if cycles > remaining + 1e-6:
             raise SimulationError(
                 f"thread {self.thread_id} advanced {cycles} cycles past segment end "
-                f"({self.cycles_to_segment_end} remaining)"
+                f"({remaining} remaining)"
             )
-        instructions = cycles * self.segment.ipc
+        instructions = cycles * self._segment_ipc
         self.segment_cycles_done += cycles
         self.retired += instructions
         self.run_cycles += cycles

@@ -19,7 +19,14 @@ from repro.errors import ConfigurationError
 from repro.metrics.ascii_chart import bar_chart, line_chart
 from repro.telemetry.events import validate_event
 
-__all__ = ["TraceSummary", "summarize_trace", "render_summary", "render_trace_summary"]
+__all__ = [
+    "TraceSummary",
+    "summarize_trace",
+    "render_summary",
+    "render_trace_summary",
+    "manifest_metrics",
+    "render_manifest_metrics",
+]
 
 
 def _to_float(value: object) -> float:
@@ -172,6 +179,64 @@ def render_summary(summary: TraceSummary) -> str:
     return "\n".join(lines)
 
 
+def manifest_metrics(path: Union[str, Path]) -> Optional[dict]:
+    """The run's profiling manifest, if one sits next to the trace.
+
+    A traced CLI run writes ``<trace>.manifest.json`` (see
+    :mod:`repro.telemetry.profile`); its throughput counters are the
+    same ones the perf harness records in ``BENCH_*.json``.
+    """
+    manifest_path = Path(f"{path}.manifest.json")
+    if not manifest_path.exists():
+        return None
+    try:
+        manifest = json.loads(manifest_path.read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise ConfigurationError(
+            f"unreadable run manifest {manifest_path}: {error}"
+        ) from error
+    if not isinstance(manifest, dict):
+        raise ConfigurationError(
+            f"run manifest {manifest_path} must be a JSON object"
+        )
+    return manifest
+
+
+def render_manifest_metrics(manifest: dict) -> str:
+    """Render the manifest's perf counters as a report section."""
+    lines = ["Run profile (from the profiling manifest):"]
+    wall = manifest.get("wall_seconds")
+    workers = manifest.get("workers")
+    if wall is not None:
+        suffix = f" across {workers} worker(s)" if workers else ""
+        lines.append(f"  wall time: {float(wall):.3f} s{suffix}")
+    events_per_sec = manifest.get("events_per_sec")
+    if events_per_sec is not None:
+        lines.append(
+            f"  events/sec: {float(events_per_sec):,.0f} "
+            f"({int(manifest.get('events', 0))} events)"
+        )
+    cycles_per_sec = manifest.get("simulated_cycles_per_sec")
+    if cycles_per_sec is not None:
+        lines.append(
+            f"  simulated cycles/sec: {float(cycles_per_sec):,.0f} "
+            f"({float(manifest.get('simulated_cycles', 0.0)):,.0f} cycles)"
+        )
+    peak_rss = manifest.get("peak_rss_bytes")
+    if peak_rss:
+        lines.append(f"  peak RSS: {int(peak_rss) / (1 << 20):.1f} MiB")
+    return "\n".join(lines)
+
+
 def render_trace_summary(path: Union[str, Path]) -> str:
-    """Summarize and render a trace file in one step (the CLI entry)."""
-    return render_summary(summarize_trace(path))
+    """Summarize and render a trace file in one step (the CLI entry).
+
+    When the run's ``<trace>.manifest.json`` exists, its throughput
+    counters (events/sec, simulated cycles/sec, peak RSS) are appended,
+    so traced runs expose the same perf counters the harness records.
+    """
+    text = render_summary(summarize_trace(path))
+    manifest = manifest_metrics(path)
+    if manifest is not None:
+        text += "\n\n" + render_manifest_metrics(manifest)
+    return text

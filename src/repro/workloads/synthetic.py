@@ -17,6 +17,7 @@ see the same workload.
 
 from __future__ import annotations
 
+import functools
 import math
 import random
 from dataclasses import dataclass
@@ -76,8 +77,23 @@ class SegmentDistribution:
         """Mean cycles per miss implied by the distribution."""
         return self.ipm / self.ipc_no_miss
 
+    @functools.cached_property
+    def _constant_segment(self) -> Segment:
+        """The one segment a fully deterministic distribution produces.
+
+        When both coefficients of variation are zero, ``draw`` consumes
+        no randomness and every draw is identical, so the (frozen)
+        segment is built once and shared -- the dominant case in the
+        paper's uniform-workload sweeps.
+        """
+        return Segment(
+            instructions=self.ipm, cycles=self.ipm / self.ipc_no_miss
+        )
+
     def draw(self, rng: random.Random) -> Segment:
         """Draw one segment."""
+        if self.ipm_cv == 0 and self.ipc_cv == 0:
+            return self._constant_segment
         if self.ipm_cv > 0:
             mu, sigma = _lognormal_params(self.ipm, self.ipm_cv)
             instructions = max(1.0, rng.lognormvariate(mu, sigma))

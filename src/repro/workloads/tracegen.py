@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Iterator
+from typing import Iterator, Optional
 
 from repro.cpu.isa import MicroOp, OpClass
 from repro.cpu.program import TraceProgram
@@ -138,36 +138,62 @@ def _generate(
     # ~ipm *instructions* means a higher per-load probability.
     miss_probability = min(1.0, 1.0 / (spec.ipm * spec.load_fraction))
 
+    # Slots whose dynamic instances are rng-independent (ALU/MUL/FP and
+    # predictable branches) always produce the same immutable MicroOp,
+    # so build each once and yield the shared instance every loop
+    # iteration instead of re-validating a fresh dataclass per dynamic
+    # uop. LOAD/STORE/noise-branch slots stay None and are materialized
+    # per instance (their addresses/outcomes consume the rng stream in
+    # exactly the original order).
+    slots = len(layout)
+    templates: list[Optional[MicroOp]] = [None] * slots
+    for index, (opclass, chain_reg, noise_branch) in enumerate(layout):
+        pc = code_base + index * 4
+        if opclass is OpClass.BRANCH:
+            if not noise_branch:
+                target = code_base + ((index + 1) % slots) * 4
+                templates[index] = MicroOp(
+                    OpClass.BRANCH, pc, srcs=(chain_reg,), taken=True, target=target
+                )
+        elif opclass not in (OpClass.LOAD, OpClass.STORE):
+            templates[index] = MicroOp(opclass, pc, dest=chain_reg, srcs=(chain_reg,))
+
+    rand = rng.random
+    hot_next = hot.next_address
+    stream_next = stream.next_address
     slot = 0
     while True:
+        template = templates[slot]
+        if template is not None:
+            slot += 1
+            if slot == slots:
+                slot = 0
+            yield template
+            continue
         opclass, chain_reg, noise_branch = layout[slot]
         pc = code_base + slot * 4
-        slot = (slot + 1) % len(layout)
+        slot += 1
+        if slot == slots:
+            slot = 0
 
         if opclass is OpClass.LOAD:
-            if rng.random() < miss_probability:
-                address = stream.next_address()
+            if rand() < miss_probability:
+                address = stream_next()
             else:
-                address = hot.next_address()
+                address = hot_next()
             yield MicroOp(
                 OpClass.LOAD, pc, dest=chain_reg, srcs=(chain_reg,), address=address
             )
         elif opclass is OpClass.STORE:
             yield MicroOp(
-                OpClass.STORE, pc, srcs=(chain_reg,), address=hot.next_address()
+                OpClass.STORE, pc, srcs=(chain_reg,), address=hot_next()
             )
-        elif opclass is OpClass.BRANCH:
-            taken = rng.random() < 0.5 if noise_branch else True
+        else:  # noise branch: direction drawn per dynamic instance
+            taken = rand() < 0.5
             target = code_base + slot * 4
             yield MicroOp(
                 OpClass.BRANCH, pc, srcs=(chain_reg,), taken=taken, target=target
             )
-        elif opclass is OpClass.MUL:
-            yield MicroOp(OpClass.MUL, pc, dest=chain_reg, srcs=(chain_reg,))
-        elif opclass is OpClass.FP:
-            yield MicroOp(OpClass.FP, pc, dest=chain_reg, srcs=(chain_reg,))
-        else:
-            yield MicroOp(OpClass.ALU, pc, dest=chain_reg, srcs=(chain_reg,))
 
 
 def make_trace(

@@ -1,0 +1,94 @@
+"""Baseline comparison: normalization, gating, rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarking.compare import (
+    compare_results,
+    normalized_cost,
+    regressions,
+    render_comparison,
+    render_markdown,
+)
+from repro.benchmarking.schema import bench_result
+
+
+def _record(name, wall, calibration=10_000_000.0):
+    return bench_result(
+        name=name,
+        scale="quick",
+        wall_seconds=wall,
+        simulated_cycles=1_000.0,
+        events=0.0,
+        peak_rss_bytes=1 << 20,
+        exit_status=0,
+        env={
+            "python": "3.12.0",
+            "implementation": "CPython",
+            "platform": "Linux-test",
+            "machine": "x86_64",
+            "calibration_ops_per_sec": calibration,
+        },
+    )
+
+
+def test_normalized_cost_cancels_machine_speed():
+    # Same workload on a 2x faster machine: half the wall time, double
+    # the calibration throughput -> identical normalized cost.
+    slow = _record("bench_detailed_core", 4.0, calibration=5_000_000.0)
+    fast = _record("bench_detailed_core", 2.0, calibration=10_000_000.0)
+    assert normalized_cost(slow) == pytest.approx(normalized_cost(fast))
+
+
+def test_compare_flags_tier1_regression_beyond_threshold():
+    baseline = {"bench_detailed_core": _record("bench_detailed_core", 2.0)}
+    current = {"bench_detailed_core": _record("bench_detailed_core", 2.6)}
+    rows = compare_results(baseline, current, threshold=0.25)
+    assert rows[0].regressed
+    assert regressions(rows) == ["bench_detailed_core"]
+    # 30% slower but within a 50% threshold: no gate trip.
+    rows = compare_results(baseline, current, threshold=0.5)
+    assert not rows[0].regressed
+
+
+def test_compare_ignores_non_tier1_slowdowns():
+    baseline = {"bench_fig7": _record("bench_fig7", 2.0)}
+    current = {"bench_fig7": _record("bench_fig7", 4.0)}
+    rows = compare_results(baseline, current, threshold=0.25)
+    assert rows[0].cost_growth == pytest.approx(1.0)
+    assert not rows[0].regressed
+    assert regressions(rows) == []
+
+
+def test_compare_skips_benchmarks_missing_from_either_side():
+    baseline = {"bench_detailed_core": _record("bench_detailed_core", 2.0)}
+    current = {"bench_simulator_speed": _record("bench_simulator_speed", 1.0)}
+    assert compare_results(baseline, current) == []
+
+
+def test_compare_reports_speedup():
+    baseline = {"bench_simulator_speed": _record("bench_simulator_speed", 3.0)}
+    current = {"bench_simulator_speed": _record("bench_simulator_speed", 1.5)}
+    rows = compare_results(baseline, current)
+    assert rows[0].speedup == pytest.approx(2.0)
+    assert not rows[0].regressed
+
+
+def test_render_text_and_markdown():
+    baseline = {
+        "bench_detailed_core": _record("bench_detailed_core", 2.0),
+        "bench_fig7": _record("bench_fig7", 1.0),
+    }
+    current = {
+        "bench_detailed_core": _record("bench_detailed_core", 1.0),
+        "bench_fig7": _record("bench_fig7", 1.0),
+    }
+    rows = compare_results(baseline, current)
+    text = render_comparison(rows)
+    assert "bench_detailed_core *" in text
+    assert "2.00x" in text
+    markdown = render_markdown(rows)
+    assert markdown.startswith("| benchmark |")
+    assert "| ok |" in markdown
+    assert render_comparison([]).startswith("no benchmarks")

@@ -1,0 +1,109 @@
+"""Schema validation for BENCH_*.json records and the baseline file."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.benchmarking.schema import (
+    BENCH_SCHEMA_VERSION,
+    bench_result,
+    load_baseline,
+    load_bench_file,
+    validate_bench_result,
+)
+from repro.errors import ConfigurationError
+
+ENV = {
+    "python": "3.12.0",
+    "implementation": "CPython",
+    "platform": "Linux-test",
+    "machine": "x86_64",
+    "calibration_ops_per_sec": 10_000_000.0,
+}
+
+
+def _result(**overrides):
+    record = bench_result(
+        name="bench_detailed_core",
+        scale="quick",
+        wall_seconds=2.0,
+        simulated_cycles=100_000.0,
+        events=50.0,
+        peak_rss_bytes=1 << 26,
+        exit_status=0,
+        env=ENV,
+    )
+    record.update(overrides)
+    return record
+
+
+def test_bench_result_derives_rates():
+    record = _result()
+    assert record["schema_version"] == BENCH_SCHEMA_VERSION
+    assert record["simulated_cycles_per_sec"] == pytest.approx(50_000.0)
+    assert record["events_per_sec"] == pytest.approx(25.0)
+
+
+def test_validate_rejects_missing_field():
+    record = _result()
+    del record["wall_seconds"]
+    with pytest.raises(ConfigurationError, match="wall_seconds"):
+        validate_bench_result(record)
+
+
+def test_validate_rejects_wrong_type():
+    with pytest.raises(ConfigurationError, match="wall_seconds"):
+        validate_bench_result(_result(wall_seconds="fast"))
+
+
+def test_validate_rejects_unknown_field():
+    with pytest.raises(ConfigurationError, match="unknown"):
+        validate_bench_result(_result(extra=1))
+
+
+def test_validate_rejects_schema_version_mismatch():
+    with pytest.raises(ConfigurationError, match="schema_version"):
+        validate_bench_result(_result(schema_version=99))
+
+
+def test_validate_rejects_bad_env():
+    env = dict(ENV)
+    del env["calibration_ops_per_sec"]
+    with pytest.raises(ConfigurationError, match="calibration_ops_per_sec"):
+        validate_bench_result(_result(env=env))
+
+
+def test_load_bench_file_checks_name_consistency(tmp_path):
+    record = _result()
+    path = tmp_path / "BENCH_bench_other.json"
+    path.write_text(json.dumps(record))
+    with pytest.raises(ConfigurationError, match="expected file name"):
+        load_bench_file(path)
+    good = tmp_path / "BENCH_bench_detailed_core.json"
+    good.write_text(json.dumps(record))
+    assert load_bench_file(good)["name"] == "bench_detailed_core"
+
+
+def test_load_baseline_round_trip(tmp_path):
+    record = _result()
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmarks": {"bench_detailed_core": record},
+    }
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(payload))
+    baseline = load_baseline(path)
+    assert baseline["bench_detailed_core"]["wall_seconds"] == 2.0
+
+
+def test_load_baseline_rejects_mismatched_entry(tmp_path):
+    payload = {
+        "schema_version": BENCH_SCHEMA_VERSION,
+        "benchmarks": {"bench_other": _result()},
+    }
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps(payload))
+    with pytest.raises(ConfigurationError, match="bench_other"):
+        load_baseline(path)

@@ -1,0 +1,143 @@
+"""Golden regression tests for the two simulation kernels.
+
+Every value below was captured from the pre-optimization kernels and is
+pinned exactly (integers and float bit patterns alike). Any kernel
+optimization — ``__slots__``, decode tables, event-driven fast-forward,
+issue-loop rewrites — must keep these runs *bit-identical*; a change to
+any number here means the optimization altered simulation semantics,
+not just its speed. See docs/PERFORMANCE.md.
+
+The scenarios are deliberately small (sub-second each) but exercise the
+hot paths the optimizations touch: miss-triggered switches, pipeline
+flush/refill, fairness quotas and Delta boundaries, single-thread
+ROB-head stalls (the fast-forward path), idle gaps, and the segment
+engine's event arithmetic with and without a controller.
+"""
+
+from __future__ import annotations
+
+from repro.core.controller import FairnessController, FairnessParams
+from repro.cpu.soe_core import run_cpu_single_thread, run_cpu_soe
+from repro.engine.soe import RunLimits, SoeParams, run_soe
+from repro.workloads.synthetic import uniform_stream
+from repro.workloads.tracegen import (
+    COMPUTE_SPEC,
+    MEMORY_SPEC,
+    MIXED_SPEC,
+    make_trace,
+)
+
+
+def _thread_tuples(result):
+    return [
+        (
+            t.retired,
+            t.run_cycles,
+            t.misses,
+            t.miss_switches,
+            t.forced_switches,
+            t.cycle_quota_switches,
+        )
+        for t in result.threads
+    ]
+
+
+class TestDetailedCoreGolden:
+    """Pinned ``CpuRunResult`` values for the cycle-level core."""
+
+    def test_mt_no_policy(self):
+        result = run_cpu_soe(
+            [
+                make_trace(MIXED_SPEC, seed=3, thread_index=0),
+                make_trace(MEMORY_SPEC, seed=4, thread_index=1),
+            ],
+            min_instructions=1_500,
+            warmup_instructions=500,
+        )
+        assert result.cycles == 67917
+        assert _thread_tuples(result) == [
+            (1289, 16324, 101, 101, 0, 0),
+            (5284, 25516, 101, 101, 0, 0),
+        ]
+        assert len(result.switch_latencies) == 202
+        assert sum(result.switch_latencies) == 3812
+        assert result.mean_switch_latency == 3812 / 202
+        assert result.l2_miss_rate == 0.9848197343453511
+        assert result.branch_mispredict_rate == 0.37988826815642457
+
+    def test_mt_fairness_controller(self):
+        controller = FairnessController(
+            2, FairnessParams(fairness_target=0.5, sample_period=2_000.0)
+        )
+        result = run_cpu_soe(
+            [
+                make_trace(MEMORY_SPEC, seed=5, thread_index=0),
+                make_trace(COMPUTE_SPEC, seed=6, thread_index=1),
+            ],
+            controller,
+            min_instructions=1_500,
+            warmup_instructions=500,
+        )
+        assert result.cycles == 55599
+        assert _thread_tuples(result) == [
+            (1274, 12279, 82, 82, 0, 0),
+            (1453, 20870, 80, 80, 2, 0),
+        ]
+        assert len(result.switch_latencies) == 164
+        assert sum(result.switch_latencies) == 3099
+        assert result.l2_miss_rate == 1.0
+        assert result.branch_mispredict_rate == 0.6718346253229974
+
+    def test_single_thread_memory_bound(self):
+        """The ROB-head-stall workload the fast-forward path targets."""
+        result = run_cpu_single_thread(
+            make_trace(MEMORY_SPEC, seed=1),
+            min_instructions=2_000,
+            warmup_instructions=500,
+        )
+        assert result.cycles == 34140
+        assert _thread_tuples(result) == [(1500, 34140, 0, 0, 0, 0)]
+        assert result.switch_latencies == ()
+        assert result.l2_miss_rate == 1.0
+        assert result.branch_mispredict_rate == 1.0
+
+
+class TestSegmentEngineGolden:
+    """Pinned ``SoeRunResult`` values for the segment-level engine."""
+
+    def test_no_policy_variable_segments(self):
+        result = run_soe(
+            [
+                uniform_stream(2.5, 15_000, ipm_cv=0.5, ipc_cv=0.3, seed=1),
+                uniform_stream(1.2, 800, ipm_cv=1.0, seed=2),
+            ],
+            limits=RunLimits(min_instructions=50_000),
+        )
+        assert result.cycles == 362995.4064727473
+        assert _thread_tuples(result) == [
+            (727472.3966640637, 317179.16956988006, 53, 53, 0, 0),
+            (50155.05053210322, 41795.87544341936, 53, 53, 0, 0),
+        ]
+        assert result.idle_cycles == 1370.3614594478058
+        assert result.switch_overhead_cycles == 2650.0
+
+    def test_fairness_controller_uniform_segments(self):
+        controller = FairnessController(
+            2, FairnessParams(fairness_target=0.5, sample_period=25_000.0)
+        )
+        result = run_soe(
+            [
+                uniform_stream(2.5, 15_000, seed=1),
+                uniform_stream(2.5, 1_000, seed=2),
+            ],
+            controller,
+            SoeParams(),
+            RunLimits(min_instructions=50_000, warmup_instructions=10_000),
+        )
+        assert result.cycles == 103470.83559228173
+        assert _thread_tuples(result) == [
+            (202352.22794394754, 80940.89117757893, 13, 13, 37, 0),
+            (50000.0, 20000.0, 50, 50, 1, 0),
+        ]
+        assert result.idle_cycles == 4.944414702855283
+        assert result.switch_overhead_cycles == 2525.0

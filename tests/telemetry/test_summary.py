@@ -140,3 +140,45 @@ class TestTraceSummaryCli:
     def test_trace_events_without_trace_rejected(self):
         with pytest.raises(ConfigurationError, match="--trace-events"):
             main(["fig3", "--trace-events", "controller"])
+
+
+class TestManifestMetrics:
+    def _manifest(self):
+        return {
+            "schema_version": 1,
+            "config_hash": "abcd" * 4,
+            "seed": 0,
+            "wall_seconds": 2.0,
+            "workers": 4,
+            "events": 1000,
+            "simulated_cycles": 500_000.0,
+            "tasks": 8,
+            "events_per_sec": 500.0,
+            "simulated_cycles_per_sec": 250_000.0,
+            "peak_rss_bytes": 64 << 20,
+        }
+
+    def test_summary_includes_manifest_counters(self, tmp_path, capsys):
+        path = tmp_path / "trace.jsonl"
+        _write_trace(path, _synthetic_events())
+        (tmp_path / "trace.jsonl.manifest.json").write_text(
+            json.dumps(self._manifest())
+        )
+        assert main(["trace-summary", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "Run profile" in out
+        assert "events/sec: 500" in out
+        assert "simulated cycles/sec: 250,000" in out
+        assert "peak RSS: 64.0 MiB" in out
+
+    def test_summary_without_manifest_has_no_profile_section(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_trace(path, _synthetic_events())
+        assert "Run profile" not in render_trace_summary(path)
+
+    def test_corrupt_manifest_is_an_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        _write_trace(path, _synthetic_events())
+        (tmp_path / "trace.jsonl.manifest.json").write_text("{not json")
+        with pytest.raises(ConfigurationError, match="manifest"):
+            render_trace_summary(path)
