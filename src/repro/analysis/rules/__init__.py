@@ -8,6 +8,12 @@ rationales lives in ``docs/STATIC_ANALYSIS.md``.
 
 from __future__ import annotations
 
-from repro.analysis.rules import determinism, floats, hygiene, traceability
+from repro.analysis.rules import (
+    concurrency,
+    determinism,
+    floats,
+    hygiene,
+    traceability,
+)
 
-__all__ = ["determinism", "floats", "hygiene", "traceability"]
+__all__ = ["concurrency", "determinism", "floats", "hygiene", "traceability"]

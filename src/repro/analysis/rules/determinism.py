@@ -149,6 +149,11 @@ class NoWallClock(Rule):
         exempt=(
             "src/repro/telemetry/",
             "src/repro/experiments/runner.py",
+            # The supervisor's clocks bound task attempts (timeouts,
+            # liveness polling); they never feed simulation results.
+            "src/repro/experiments/supervisor.py",
+            # Fault injection sleeps to simulate a hung worker.
+            "src/repro/faults/",
             # The perf harness *measures* wall time by design; its
             # numbers describe the simulator and never feed back in.
             "benchmarks/harness.py",

@@ -13,21 +13,38 @@ Examples::
     python -m repro lint --eq-table      # paper-equation coverage map
     python -m repro bench                # perf harness (BENCH_*.json)
     python -m repro bench --compare      # gate against benchmarks/baseline.json
+
+Fault tolerance (``docs/ROBUSTNESS.md``)::
+
+    python -m repro all --jobs 8 --task-timeout 300 --checkpoint run.ckpt
+    python -m repro all --jobs 8 --resume run.ckpt     # after a crash/^C
+    python -m repro fig7 --on-failure degrade          # keep what finished
+    python -m repro fig7 --inject-faults crash@2,hang@5 --task-timeout 5
+
+Exit codes: 0 success; 2 grid aborted with failed tasks; 3 degraded
+(``--on-failure degrade`` with failures); 130 interrupted and drained.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import pathlib
 import sys
 import time
 from typing import Optional, Sequence
 
-from repro import telemetry
-from repro.errors import ConfigurationError
+from repro import faults, telemetry
+from repro.errors import ConfigurationError, GridExecutionError, GridInterrupted
 from repro.experiments.common import EvalConfig
 from repro.experiments.registry import experiment_ids, get_experiment
-from repro.experiments.runner import ExecutionSettings, execution
+from repro.experiments.runner import (
+    ExecutionSettings,
+    ON_FAILURE_MODES,
+    degraded_outcomes,
+    execution,
+    reset_degraded,
+)
 
 __all__ = ["main", "build_parser"]
 
@@ -87,6 +104,51 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache",
         action="store_true",
         help="neither read nor write the on-disk result cache",
+    )
+    parser.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="wall-clock budget per grid task attempt; hung workers are "
+             "terminated and the task retried (default: no timeout)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=2,
+        metavar="N",
+        help="extra attempts for a failed grid task before it lands in "
+             "the failure manifest (default 2)",
+    )
+    parser.add_argument(
+        "--on-failure",
+        choices=ON_FAILURE_MODES,
+        default="abort",
+        help="what a grid does when tasks exhaust their retries: abort "
+             "(exit 2, completed work still cached/journaled) or degrade "
+             "(render what finished, exit 3)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="journal every finished grid task to PATH (append-only, "
+             "fsync'd) so an interrupted run can be resumed",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume from a checkpoint written by --checkpoint: finished "
+             "tasks are skipped, new ones appended to the same journal; "
+             "the resumed grid is bit-identical to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--inject-faults",
+        metavar="SPEC",
+        help="deterministic fault injection for testing the supervisor: "
+             "comma-separated kind@index[*count] entries with kind one of "
+             "crash, hang, nan, corrupt (e.g. crash@2,hang@5); see "
+             "docs/ROBUSTNESS.md",
     )
     parser.add_argument(
         "--trace",
@@ -170,6 +232,60 @@ def _build_sink(args: argparse.Namespace) -> Optional[telemetry.JsonlSink]:
     return telemetry.JsonlSink(pathlib.Path(args.trace), categories)
 
 
+def _emit_failure_manifest(
+    outcome: object, checkpoint: Optional[pathlib.Path]
+) -> None:
+    """Report a degraded/aborted grid: stderr summary + JSON manifest.
+
+    When a checkpoint journal is in use the manifest lands next to it
+    (``<checkpoint>.manifest.json``), so the artifacts needed to resume
+    -- journal plus an account of what failed -- travel together.
+    """
+    manifest = getattr(outcome, "failure_manifest", None)
+    if manifest is None:
+        return
+    payload = manifest()
+    print(
+        f"[grid] {payload['completed_pairs']} pair(s) completed, "
+        f"{len(payload['incomplete_pairs'])} incomplete, "
+        f"{payload['skipped_tasks']} task(s) skipped"
+        + (" (interrupted)" if payload["interrupted"] else ""),
+        file=sys.stderr,
+    )
+    for failure in payload["failures"]:
+        print(
+            f"[grid]   {failure['reason']}: {failure['kind']} "
+            f"{failure['label']} after {failure['attempts']} attempt(s): "
+            f"{failure['message']}",
+            file=sys.stderr,
+        )
+    if checkpoint is not None:
+        manifest_path = pathlib.Path(f"{checkpoint}.manifest.json")
+        manifest_path.write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[grid] failure manifest -> {manifest_path}", file=sys.stderr)
+
+
+def _execution_settings(args: argparse.Namespace) -> ExecutionSettings:
+    if args.resume and args.checkpoint and args.resume != args.checkpoint:
+        raise ConfigurationError(
+            "--checkpoint and --resume name different journals; --resume "
+            "PATH alone both reads and extends it"
+        )
+    checkpoint = args.resume or args.checkpoint
+    return ExecutionSettings(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache or args.cache_dir is None
+        else pathlib.Path(args.cache_dir),
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        on_failure=args.on_failure,
+        checkpoint=pathlib.Path(checkpoint) if checkpoint else None,
+        resume=args.resume is not None,
+    )
+
+
 def _trace_summary(args: argparse.Namespace) -> int:
     from repro.telemetry.summary import render_trace_summary
 
@@ -207,40 +323,48 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return _trace_summary(args)
 
     config = _config_for(args.scale, args.seed)
-    settings = ExecutionSettings(
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache or args.cache_dir is None
-        else pathlib.Path(args.cache_dir),
-    )
+    settings = _execution_settings(args)
+    plan = faults.parse_fault_plan(args.inject_faults)
+    reset_degraded()
     sink = _build_sink(args)
     if sink is not None:
         telemetry.PROFILE.reset()
     # repro-lint: disable=RL002 - wall time feeds only the trace manifest
     wall_start = time.perf_counter()
-    with telemetry.tracing(sink), execution(settings):
-        if args.experiment == "all":
-            results: dict[str, object] = {}
-            sections: list[str] = []
-            for experiment_id in _ALL_BEFORE_GRID:
-                result, text = _run_one(experiment_id, config)
-                results[experiment_id] = result
-                sections.append(text)
-            grid_results, grid_sections = _run_grid(config)
-            results.update(grid_results)
-            sections.extend(grid_sections)
-            for experiment_id in _ALL_AFTER_GRID:
-                result, text = _run_one(experiment_id, config)
-                results[experiment_id] = result
-                sections.append(text)
-            text = "\n\n".join(sections)
-            json_payload: object = {
-                "scale": args.scale,
-                "seed": args.seed,
-                "experiments": results,
-            }
-        else:
-            result, text = _run_one(args.experiment, config)
-            json_payload = result
+    try:
+        with telemetry.tracing(sink), execution(settings), \
+                faults.fault_injection(plan):
+            if args.experiment == "all":
+                results: dict[str, object] = {}
+                sections: list[str] = []
+                for experiment_id in _ALL_BEFORE_GRID:
+                    result, text = _run_one(experiment_id, config)
+                    results[experiment_id] = result
+                    sections.append(text)
+                grid_results, grid_sections = _run_grid(config)
+                results.update(grid_results)
+                sections.extend(grid_sections)
+                for experiment_id in _ALL_AFTER_GRID:
+                    result, text = _run_one(experiment_id, config)
+                    results[experiment_id] = result
+                    sections.append(text)
+                text = "\n\n".join(sections)
+                json_payload: object = {
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "experiments": results,
+                }
+            else:
+                result, text = _run_one(args.experiment, config)
+                json_payload = result
+    except GridExecutionError as error:
+        # Completed work was cached/journaled before the raise; report
+        # what failed and exit distinctly (130 drained, 2 failed).
+        if sink is not None:
+            sink.close()
+        print(f"error: {error}", file=sys.stderr)
+        _emit_failure_manifest(error.outcome, settings.checkpoint)
+        return 130 if isinstance(error, GridInterrupted) else 2
 
     print(text)
     if sink is not None:
@@ -265,6 +389,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.experiments.io import write_json
 
         write_json(json_payload, args.json)
+    degraded = degraded_outcomes()
+    if degraded:
+        # --on-failure degrade: everything renderable was rendered, but
+        # some grid work is missing; exit non-zero so automation notices.
+        _emit_failure_manifest(degraded[-1], settings.checkpoint)
+        return 130 if any(o.interrupted for o in degraded) else 3
     return 0
 
 

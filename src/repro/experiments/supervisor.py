@@ -1,0 +1,546 @@
+"""Supervised task execution: process-per-task with timeout and retry.
+
+The grid's former ``pool.map`` had no answer to a crashed, hung, or
+lying worker: one bad task aborted (or wedged) the whole sweep. This
+module replaces it with a *supervisor* that runs each task in its own
+short-lived process and watches it:
+
+* **Timeout** -- each attempt gets a wall-clock budget
+  (``task_timeout``); a hung worker is terminated and the task
+  reclassified as :class:`~repro.errors.TaskTimeout`. The clock guards
+  only the supervisor -- results never observe it, so a timed-out-and-
+  retried task is still bit-identical.
+* **Retry** -- every failure is retried up to ``retries`` times with
+  deterministic, attempt-counted accounting (no randomized or
+  wall-clock backoff: workers are local processes, and scheduling must
+  not depend on host timing). Each retry respawns a fresh process, so a
+  dead worker is always replaced.
+* **Classification** -- failures map onto the typed taxonomy in
+  :mod:`repro.errors` (``TaskTimeout``/``WorkerCrash``/
+  ``InvariantViolation``/generic task errors) and are reported as
+  ``task_retry``/``task_failed`` trace events and in the run's failure
+  manifest.
+* **Invariant check** -- results are structurally validated (finite
+  floats all the way down) before being accepted, so a worker that
+  *returns* garbage is treated exactly like one that crashed.
+* **Drain** -- SIGINT/SIGTERM request a drain: no new tasks launch,
+  in-flight tasks finish and are journaled, and the run reports itself
+  interrupted instead of dying mid-write. A second SIGINT kills
+  in-flight work immediately.
+
+Determinism: results are collected by task index, every task is a pure
+function of its spec, and the supervisor only decides *whether* and
+*when* a task runs -- never what it computes -- so any schedule
+(including one with retries) yields bit-identical results.
+
+This module is wall-clock exempt (RL002) alongside the runner: its
+clocks bound supervision (timeouts, liveness polling) and never feed
+simulation results.
+"""
+
+from __future__ import annotations
+
+import math
+import multiprocessing
+import multiprocessing.connection
+import os
+import signal
+import threading
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass, fields, is_dataclass
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro import faults
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    classify_failure,
+)
+from repro.telemetry import RUNNER as _TRACE_RUNNER
+from repro.telemetry import current_sink
+from repro.telemetry.events import task_failed, task_retry
+
+__all__ = [
+    "SupervisionPolicy",
+    "TaskFailure",
+    "SupervisedRun",
+    "Supervisor",
+    "check_invariants",
+]
+
+#: How long the supervisor blocks waiting for worker messages before
+#: re-checking deadlines and drain requests.
+_POLL_SECONDS = 0.2
+
+#: Grace given to ``terminate()`` before escalating to ``kill()``.
+_TERM_GRACE_SECONDS = 2.0
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How failures are bounded: per-attempt timeout and retry budget."""
+
+    #: Wall-clock seconds one attempt may run (None = no timeout).
+    task_timeout: Optional[float] = None
+    #: Extra attempts after the first failure (0 = fail fast).
+    retries: int = 2
+
+    def __post_init__(self) -> None:
+        if self.task_timeout is not None and self.task_timeout <= 0:
+            raise ConfigurationError("task timeout must be positive seconds")
+        if self.retries < 0:
+            raise ConfigurationError("retries must be >= 0")
+
+    @property
+    def max_attempts(self) -> int:
+        return self.retries + 1
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One task that exhausted its retry budget (manifest entry)."""
+
+    index: int
+    kind: str
+    label: str
+    reason: str  #: one of :data:`repro.errors.FAILURE_REASONS`
+    message: str
+    attempts: int
+    #: The original exception, when the failure happened in-process
+    #: (inline mode); lets thin wrappers re-raise it unchanged.
+    error: Optional[BaseException] = None
+
+    def to_json(self) -> dict:
+        return {
+            "index": self.index,
+            "kind": self.kind,
+            "label": self.label,
+            "reason": self.reason,
+            "message": self.message,
+            "attempts": self.attempts,
+        }
+
+
+@dataclass
+class SupervisedRun:
+    """Everything one supervised execution produced."""
+
+    #: task index -> raw result (only indices that succeeded)
+    results: dict
+    failures: List[TaskFailure]
+    #: indices that never ran because a drain was requested
+    skipped: List[int]
+    interrupted: bool = False
+    #: total retry attempts consumed across all tasks
+    retries: int = 0
+
+
+def check_invariants(value: object, _path: str = "result") -> None:
+    """Validate a task result: every float is finite, recursively.
+
+    Raises :class:`~repro.errors.InvariantViolation` naming the first
+    offending field. Simulation results are counters and rates -- a NaN
+    or infinity anywhere means the producing run was corrupt, and
+    accepting it would poison every figure derived from the grid.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (str, int)):
+        return
+    if isinstance(value, float):
+        if not math.isfinite(value):
+            raise InvariantViolation(
+                f"non-finite value {value!r} at {_path}"
+            )
+        return
+    if is_dataclass(value) and not isinstance(value, type):
+        for field in fields(value):
+            check_invariants(
+                getattr(value, field.name), f"{_path}.{field.name}"
+            )
+        return
+    if isinstance(value, (list, tuple)):
+        for position, element in enumerate(value):
+            check_invariants(element, f"{_path}[{position}]")
+        return
+    if isinstance(value, dict):
+        for key, element in value.items():
+            check_invariants(element, f"{_path}[{key!r}]")
+        return
+
+
+def _default_descriptor(item: object) -> Tuple[str, str]:
+    return "task", type(item).__name__
+
+
+def _child_main(
+    conn: multiprocessing.connection.Connection,
+    call: Callable,
+    index: int,
+    attempt: int,
+    item: object,
+) -> None:
+    """Entry point of one task process.
+
+    Reports exactly one message on ``conn``: ``("ok", result)`` or
+    ``("error", reason, message, traceback)``. Dying without reporting
+    *is* the crash signal the parent watches for. SIGINT is ignored so
+    a terminal Ctrl-C (delivered to the whole foreground process group)
+    lets the parent drain in-flight work instead of killing it.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    status = 0
+    try:
+        plan = faults.current_plan()
+        plan.on_task_start(index, attempt)
+        result = plan.mutate_result(index, attempt, call(item))
+        conn.send(("ok", result))
+    except BaseException as error:  # the parent does the classifying
+        status = 1
+        try:
+            conn.send(
+                (
+                    "error",
+                    classify_failure(error),
+                    f"{type(error).__name__}: {error}",
+                    traceback.format_exc(),
+                )
+            )
+        except (OSError, ValueError):  # parent gone / pipe closed
+            pass
+    finally:
+        try:
+            conn.close()
+        finally:
+            os._exit(status)
+
+
+@dataclass
+class _Running:
+    """Book-keeping for one in-flight task process."""
+
+    process: multiprocessing.Process
+    conn: multiprocessing.connection.Connection
+    index: int
+    item: object
+    attempt: int
+    deadline: Optional[float]
+
+
+class Supervisor:
+    """Runs indexed tasks under a :class:`SupervisionPolicy`.
+
+    ``tasks`` is a sequence of ``(index, item)`` pairs -- indices are
+    caller-owned (the grid keeps its deterministic decomposition order
+    stable across resumes) and are the coordinates fault injection and
+    checkpoint records use.
+
+    Isolation is automatic: tasks run in per-task processes when
+    concurrency, a timeout, or an active process-level fault plan
+    demands it, and inline (zero overhead, exceptions classified but
+    never retried -- pure tasks fail deterministically) otherwise.
+    """
+
+    def __init__(
+        self,
+        call: Callable,
+        tasks: Sequence[Tuple[int, object]],
+        *,
+        jobs: int = 1,
+        policy: Optional[SupervisionPolicy] = None,
+        descriptor: Callable[[object], Tuple[str, str]] = _default_descriptor,
+        validate: Callable[[object], None] = check_invariants,
+        on_result: Optional[Callable[[int, object, object], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError("jobs must be a positive process count")
+        self._call = call
+        self._tasks = list(tasks)
+        self._jobs = jobs
+        self._policy = policy if policy is not None else SupervisionPolicy()
+        self._descriptor = descriptor
+        self._validate = validate
+        self._on_result = on_result
+        self._drain = False
+        self._hard_abort = False
+        self._signals = 0
+
+    # -- external control ------------------------------------------------
+
+    def request_drain(self) -> None:
+        """Stop launching new tasks; let in-flight tasks finish."""
+        self._drain = True
+
+    def _on_signal(self, signum: int, frame: object) -> None:
+        self._signals += 1
+        self._drain = True
+        if self._signals >= 2:
+            self._hard_abort = True
+
+    # -- execution -------------------------------------------------------
+
+    def run(self) -> SupervisedRun:
+        """Execute every task; returns results, failures, and skips."""
+        run = SupervisedRun(results={}, failures=[], skipped=[])
+        if not self._tasks:
+            return run
+        use_processes = (
+            self._jobs > 1
+            or self._policy.task_timeout is not None
+            or any(
+                spec.kind in ("crash", "hang", "nan")
+                for spec in faults.current_plan().specs
+            )
+        )
+        installed = self._install_signal_handlers()
+        try:
+            if use_processes:
+                self._run_isolated(run)
+            else:
+                self._run_inline(run)
+        finally:
+            self._restore_signal_handlers(installed)
+        run.interrupted = self._drain and bool(run.skipped or self._signals)
+        return run
+
+    def _install_signal_handlers(self) -> list:
+        if threading.current_thread() is not threading.main_thread():
+            return []
+        previous = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            previous.append((signum, signal.signal(signum, self._on_signal)))
+        return previous
+
+    def _restore_signal_handlers(self, previous: list) -> None:
+        for signum, handler in previous:
+            signal.signal(signum, handler)
+
+    # -- inline mode -----------------------------------------------------
+
+    def _run_inline(self, run: SupervisedRun) -> None:
+        for index, item in self._tasks:
+            if self._drain:
+                run.skipped.append(index)
+                continue
+            try:
+                result = self._call(item)
+                self._validate(result)
+            except Exception as error:  # classified, surfaces in manifest
+                self._record_failure(
+                    run,
+                    index,
+                    item,
+                    attempt=1,
+                    reason=classify_failure(error),
+                    message=f"{type(error).__name__}: {error}",
+                    error=error,
+                )
+                continue
+            self._accept(run, index, item, result)
+
+    # -- isolated (process-per-task) mode --------------------------------
+
+    def _run_isolated(self, run: SupervisedRun) -> None:
+        pending: deque = deque(
+            (index, item, 1) for index, item in self._tasks
+        )
+        running: List[_Running] = []
+        while pending or running:
+            if self._hard_abort:
+                for task in running:
+                    self._kill(task)
+                    self._record_failure(
+                        run,
+                        task.index,
+                        task.item,
+                        attempt=task.attempt,
+                        reason="crash",
+                        message="killed by repeated interrupt",
+                    )
+                running.clear()
+                self._drain = True
+            while pending and len(running) < self._jobs and not self._drain:
+                running.append(self._launch(*pending.popleft()))
+            if not running:
+                break
+            self._poll(run, running, pending)
+        while pending:
+            index, _item, _attempt = pending.popleft()
+            run.skipped.append(index)
+        run.skipped.sort()
+
+    def _launch(self, index: int, item: object, attempt: int) -> _Running:
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=False)
+        process = multiprocessing.Process(
+            target=_child_main,
+            args=(child_conn, self._call, index, attempt, item),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        deadline = (
+            time.monotonic() + self._policy.task_timeout
+            if self._policy.task_timeout is not None
+            else None
+        )
+        return _Running(
+            process=process,
+            conn=parent_conn,
+            index=index,
+            item=item,
+            attempt=attempt,
+            deadline=deadline,
+        )
+
+    def _poll(
+        self, run: SupervisedRun, running: List[_Running], pending: deque
+    ) -> None:
+        wait_for = _POLL_SECONDS
+        now = time.monotonic()
+        for task in running:
+            if task.deadline is not None:
+                wait_for = min(wait_for, max(task.deadline - now, 0.0))
+        try:
+            ready = multiprocessing.connection.wait(
+                [task.conn for task in running], timeout=wait_for
+            )
+        except InterruptedError:  # pragma: no cover - signal during wait
+            ready = []
+        now = time.monotonic()
+        finished: List[_Running] = []
+        for task in running:
+            if task.conn in ready:
+                finished.append(task)
+                self._collect(run, pending, task)
+            elif task.deadline is not None and now >= task.deadline:
+                finished.append(task)
+                self._kill(task)
+                self._retry_or_fail(
+                    run,
+                    pending,
+                    task,
+                    reason="timeout",
+                    message=(
+                        f"attempt {task.attempt} exceeded the "
+                        f"{self._policy.task_timeout:g}s task timeout"
+                    ),
+                )
+            elif not task.process.is_alive():
+                # Exited between wait() and this liveness check. A
+                # result it managed to send is still buffered in the
+                # pipe, so collect first -- only an empty, closed pipe
+                # (EOFError in recv) is the crash signal.
+                finished.append(task)
+                self._collect(run, pending, task)
+        for task in finished:
+            running.remove(task)
+
+    def _collect(
+        self, run: SupervisedRun, pending: deque, task: _Running
+    ) -> None:
+        try:
+            message = task.conn.recv()
+        except (EOFError, OSError):
+            message = None
+        task.conn.close()
+        task.process.join()
+        if message is None:
+            self._retry_or_fail(
+                run,
+                pending,
+                task,
+                reason="crash",
+                message=(
+                    "worker died with exitcode "
+                    f"{task.process.exitcode} before reporting a result"
+                ),
+            )
+            return
+        if message[0] == "ok":
+            result = message[1]
+            try:
+                self._validate(result)
+            except InvariantViolation as error:
+                self._retry_or_fail(
+                    run, pending, task, reason="invariant", message=str(error)
+                )
+                return
+            self._accept(run, task.index, task.item, result)
+            return
+        _tag, reason, text, _trace = message
+        self._retry_or_fail(run, pending, task, reason=reason, message=text)
+
+    def _kill(self, task: _Running) -> None:
+        task.conn.close()
+        process = task.process
+        if process.is_alive():
+            process.terminate()
+            process.join(_TERM_GRACE_SECONDS)
+            if process.is_alive():  # pragma: no cover - stuck in kernel
+                process.kill()
+                process.join()
+        else:
+            process.join()
+
+    # -- accounting ------------------------------------------------------
+
+    def _accept(
+        self, run: SupervisedRun, index: int, item: object, result: object
+    ) -> None:
+        run.results[index] = result
+        if self._on_result is not None:
+            self._on_result(index, item, result)
+
+    def _retry_or_fail(
+        self,
+        run: SupervisedRun,
+        pending: deque,
+        task: _Running,
+        reason: str,
+        message: str,
+    ) -> None:
+        kind, label = self._descriptor(task.item)
+        sink = current_sink()
+        if task.attempt < self._policy.max_attempts and not self._drain:
+            run.retries += 1
+            if sink.wants(_TRACE_RUNNER):
+                sink.emit(
+                    task_retry(kind, label, task.attempt + 1, reason)
+                )
+            pending.append((task.index, task.item, task.attempt + 1))
+            return
+        self._record_failure(
+            run,
+            task.index,
+            task.item,
+            attempt=task.attempt,
+            reason=reason,
+            message=message,
+        )
+
+    def _record_failure(
+        self,
+        run: SupervisedRun,
+        index: int,
+        item: object,
+        *,
+        attempt: int,
+        reason: str,
+        message: str,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        kind, label = self._descriptor(item)
+        sink = current_sink()
+        if sink.wants(_TRACE_RUNNER):
+            sink.emit(task_failed(kind, label, attempt, reason))
+        run.failures.append(
+            TaskFailure(
+                index=index,
+                kind=kind,
+                label=label,
+                reason=reason,
+                message=message,
+                attempts=attempt,
+                error=error,
+            )
+        )

@@ -43,7 +43,10 @@ __all__ = [
     "segment_end",
     "stall",
     "task_event",
+    "task_retry",
+    "task_failed",
     "cache_event",
+    "checkpoint_event",
     "validate_event",
     "validate_trace_file",
 ]
@@ -65,7 +68,12 @@ SWITCH_CAUSES = frozenset(("miss", "quota", "cycle_quota", "done"))
 _SUBSTRATES = frozenset(("engine", "cpu"))
 
 _TASK_PHASES = frozenset(("start", "stop"))
-_CACHE_OUTCOMES = frozenset(("hit", "miss"))
+#: ``corrupt`` = a quarantined cache entry, ``sweep`` = a stale temp
+#: file removed at startup (see docs/ROBUSTNESS.md).
+_CACHE_OUTCOMES = frozenset(("hit", "miss", "corrupt", "sweep"))
+#: Failure classifications (mirrors :data:`repro.errors.FAILURE_REASONS`).
+_FAILURE_REASONS = frozenset(("timeout", "crash", "invariant", "error"))
+_CHECKPOINT_ACTIONS = frozenset(("write", "resume"))
 
 Number = Union[int, float, str]
 
@@ -199,14 +207,61 @@ def task_event(
     }
 
 
+def task_retry(kind: str, label: str, attempt: int, reason: str) -> dict:
+    """A failed grid task is being retried (``attempt`` starts next).
+
+    ``reason`` classifies the failure that triggered the retry using
+    the taxonomy of :mod:`repro.errors` (timeout/crash/invariant/error).
+    """
+    return {
+        "event": "task_retry",
+        "cat": RUNNER,
+        "v": SCHEMA_VERSION,
+        "kind": kind,
+        "label": label,
+        "attempt": attempt,
+        "reason": reason,
+    }
+
+
+def task_failed(kind: str, label: str, attempts: int, reason: str) -> dict:
+    """A grid task exhausted its retry budget and was abandoned."""
+    return {
+        "event": "task_failed",
+        "cat": RUNNER,
+        "v": SCHEMA_VERSION,
+        "kind": kind,
+        "label": label,
+        "attempts": attempts,
+        "reason": reason,
+    }
+
+
 def cache_event(outcome: str, label: str) -> dict:
-    """One on-disk result-cache lookup (hit or miss) for a grid cell."""
+    """One on-disk result-cache event for a grid cell or cache file.
+
+    ``hit``/``miss`` describe lookups; ``corrupt`` reports an entry
+    quarantined on load; ``sweep`` reports a stale temp file removed.
+    """
     return {
         "event": "cache",
         "cat": RUNNER,
         "v": SCHEMA_VERSION,
         "outcome": outcome,
         "label": label,
+    }
+
+
+def checkpoint_event(action: str, tasks: int, path: str) -> dict:
+    """Checkpoint-journal activity: a task record written, or a resume
+    that skipped ``tasks`` already-completed tasks."""
+    return {
+        "event": "checkpoint",
+        "cat": RUNNER,
+        "v": SCHEMA_VERSION,
+        "action": action,
+        "tasks": tasks,
+        "path": path,
     }
 
 
@@ -300,11 +355,37 @@ EVENT_SCHEMAS: Mapping[str, tuple] = {
             "wall_s": _optional_number,
         },
     ),
+    "task_retry": (
+        RUNNER,
+        {
+            "kind": _string,
+            "label": _string,
+            "attempt": _is_int,
+            "reason": _enum(*_FAILURE_REASONS),
+        },
+    ),
+    "task_failed": (
+        RUNNER,
+        {
+            "kind": _string,
+            "label": _string,
+            "attempts": _is_int,
+            "reason": _enum(*_FAILURE_REASONS),
+        },
+    ),
     "cache": (
         RUNNER,
         {
             "outcome": _enum(*_CACHE_OUTCOMES),
             "label": _string,
+        },
+    ),
+    "checkpoint": (
+        RUNNER,
+        {
+            "action": _enum(*_CHECKPOINT_ACTIONS),
+            "tasks": _is_int,
+            "path": _string,
         },
     ),
 }

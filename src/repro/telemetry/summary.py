@@ -53,6 +53,15 @@ class TraceSummary:
     workers: set = field(default_factory=set)
     cache_hits: int = 0
     cache_misses: int = 0
+    #: entries quarantined as corrupt / stale tmp files swept
+    cache_corrupt: int = 0
+    cache_swept: int = 0
+    #: failure reason -> retry count / exhausted-task count
+    task_retries: dict = field(default_factory=dict)
+    task_failures: dict = field(default_factory=dict)
+    #: checkpoint records written / tasks prefilled by resume
+    checkpoint_writes: int = 0
+    checkpoint_resumed: int = 0
 
     @property
     def num_threads(self) -> int:
@@ -101,10 +110,30 @@ def summarize_trace(path: Union[str, Path]) -> TraceSummary:
                     )
                 summary.workers.add(event["worker"])
             elif name == "cache":
-                if event["outcome"] == "hit":
+                outcome = event["outcome"]
+                if outcome == "hit":
                     summary.cache_hits += 1
-                else:
+                elif outcome == "miss":
                     summary.cache_misses += 1
+                elif outcome == "corrupt":
+                    summary.cache_corrupt += 1
+                elif outcome == "sweep":
+                    summary.cache_swept += 1
+            elif name == "task_retry":
+                reason = event["reason"]
+                summary.task_retries[reason] = (
+                    summary.task_retries.get(reason, 0) + 1
+                )
+            elif name == "task_failed":
+                reason = event["reason"]
+                summary.task_failures[reason] = (
+                    summary.task_failures.get(reason, 0) + 1
+                )
+            elif name == "checkpoint":
+                if event["action"] == "write":
+                    summary.checkpoint_writes += int(event["tasks"])
+                else:
+                    summary.checkpoint_resumed += int(event["tasks"])
     return summary
 
 
@@ -175,6 +204,39 @@ def render_summary(summary: TraceSummary) -> str:
             lines.append(
                 f"  result cache: {summary.cache_hits} hits / "
                 f"{summary.cache_misses} misses"
+            )
+    robustness = (
+        summary.task_retries
+        or summary.task_failures
+        or summary.cache_corrupt
+        or summary.cache_swept
+        or summary.checkpoint_writes
+        or summary.checkpoint_resumed
+    )
+    if robustness:
+        lines.append("")
+        lines.append("Robustness:")
+        if summary.task_retries:
+            retried = ", ".join(
+                f"{reason}: {count}"
+                for reason, count in sorted(summary.task_retries.items())
+            )
+            lines.append(f"  retries by reason: {retried}")
+        if summary.task_failures:
+            failed = ", ".join(
+                f"{reason}: {count}"
+                for reason, count in sorted(summary.task_failures.items())
+            )
+            lines.append(f"  exhausted tasks by reason: {failed}")
+        if summary.cache_corrupt or summary.cache_swept:
+            lines.append(
+                f"  cache hygiene: {summary.cache_corrupt} quarantined / "
+                f"{summary.cache_swept} stale tmp swept"
+            )
+        if summary.checkpoint_writes or summary.checkpoint_resumed:
+            lines.append(
+                f"  checkpoint: {summary.checkpoint_writes} tasks journaled / "
+                f"{summary.checkpoint_resumed} resumed"
             )
     return "\n".join(lines)
 

@@ -153,3 +153,66 @@ class TestRL007NoBareExcept:
     def test_allows_typed_except(self):
         source = "try:\n    pass\nexcept ValueError:\n    pass\n"
         assert run("RL007", source) == []
+
+
+class TestRL008NoUnsupervisedPool:
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "import multiprocessing\n"
+            "pool = multiprocessing.Pool(4)\n",
+            "from multiprocessing import Pool\n"
+            "p = Pool()\n",
+            "import multiprocessing.pool as mpool\n",  # module alone is fine
+        ],
+    )
+    def test_flags_pool_constructors(self, source):
+        findings = run("RL008", source, "src/repro/experiments/snippet.py")
+        expected = 0 if "mpool" in source else 1
+        assert len(findings) == expected
+        assert all(f.rule == "RL008" for f in findings)
+
+    def test_flags_map_on_bound_pool(self):
+        source = (
+            "import multiprocessing\n"
+            "with multiprocessing.Pool(2) as pool:\n"
+            "    out = pool.map(f, xs)\n"
+        )
+        findings = run("RL008", source, "src/repro/experiments/snippet.py")
+        # constructor + .map on the bound name
+        assert len(findings) == 2
+
+    def test_flags_executor_submit(self):
+        source = (
+            "from concurrent.futures import ProcessPoolExecutor\n"
+            "ex = ProcessPoolExecutor()\n"
+            "fut = ex.submit(f, 1)\n"
+        )
+        findings = run("RL008", source, "src/repro/experiments/snippet.py")
+        assert len(findings) == 2
+
+    @pytest.mark.parametrize(
+        "source",
+        [
+            "from repro.experiments.runner import parallel_map\n"
+            "out = parallel_map(f, xs)\n",
+            # Process-per-task supervision primitives are not pools.
+            "import multiprocessing\n"
+            "p = multiprocessing.Process(target=f)\n"
+            "p.start()\n",
+            # .map on something that is not a pool
+            "out = mapping.map(f, xs)\n",
+        ],
+    )
+    def test_allows_supervised_and_non_pool(self, source):
+        assert run("RL008", source, "src/repro/experiments/snippet.py") == []
+
+    def test_supervised_executor_is_exempt(self):
+        source = "from multiprocessing import Pool\np = Pool()\n"
+        assert run("RL008", source, "src/repro/experiments/runner.py") == []
+        assert run("RL008", source,
+                   "src/repro/experiments/supervisor.py") == []
+
+    def test_out_of_scope_path_ignored(self):
+        source = "from multiprocessing import Pool\np = Pool()\n"
+        assert run("RL008", source, "benchmarks/snippet.py") == []

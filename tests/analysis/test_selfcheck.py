@@ -62,6 +62,7 @@ def test_equation_map_is_complete():
 def test_all_rules_ran():
     result = _lint()
     assert set(result.rules_run) == {
-        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007"
+        "RL001", "RL002", "RL003", "RL004", "RL005", "RL006", "RL007",
+        "RL008",
     }
     assert result.files_checked > 50

@@ -15,11 +15,14 @@ from repro.telemetry.events import (
     EVENT_SCHEMAS,
     SCHEMA_VERSION,
     cache_event,
+    checkpoint_event,
     controller_sample,
     parse_categories,
     segment_end,
     stall,
     task_event,
+    task_failed,
+    task_retry,
     thread_switch,
     validate_event,
     validate_trace_file,
@@ -54,6 +57,12 @@ class TestBuilders:
                        wall_s=0.25),
             cache_event("hit", "gcc:eon"),
             cache_event("miss", "lucas:applu"),
+            cache_event("corrupt", "gcc:eon"),
+            cache_event("sweep", "tmp-123.tmp"),
+            task_retry("soe_pair", "gcc:eon@F0.5", 2, "timeout"),
+            task_failed("soe_pair", "gcc:eon@F0.5", 3, "crash"),
+            checkpoint_event("write", 1, "grid.ckpt"),
+            checkpoint_event("resume", 7, "grid.ckpt"),
         ]
         for event in events:
             assert validate_event(event) is event
@@ -66,6 +75,9 @@ class TestBuilders:
             stall(0.0, 1.0, "cpu"),
             task_event("start", "k", "l", 1),
             cache_event("hit", "l"),
+            task_retry("k", "l", 2, "crash"),
+            task_failed("k", "l", 3, "crash"),
+            checkpoint_event("write", 1, "p"),
         )}
         assert built == set(EVENT_SCHEMAS)
 
