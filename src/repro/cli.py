@@ -35,6 +35,7 @@ import time
 from typing import Optional, Sequence
 
 from repro import faults, telemetry
+from repro.engine.backend import BACKEND_NAMES
 from repro.errors import ConfigurationError, GridExecutionError, GridInterrupted
 from repro.experiments.common import EvalConfig
 from repro.experiments.registry import experiment_ids, get_experiment
@@ -93,6 +94,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for grid/sweep simulations (default 1 = "
              "serial; results are bit-identical at any job count)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=BACKEND_NAMES,
+        default="scalar",
+        help="engine substrate for SOE simulations: scalar (exact "
+             "event-driven reference), batch (vectorized with numpy; "
+             "errors if numpy is missing), or auto (batch when numpy "
+             "is installed, scalar otherwise)",
     )
     parser.add_argument(
         "--cache-dir",
@@ -283,6 +293,7 @@ def _execution_settings(args: argparse.Namespace) -> ExecutionSettings:
         on_failure=args.on_failure,
         checkpoint=pathlib.Path(checkpoint) if checkpoint else None,
         resume=args.resume is not None,
+        backend=args.backend,
     )
 
 

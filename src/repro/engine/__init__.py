@@ -9,6 +9,14 @@ per-cycle loop. The detailed microarchitectural substrate lives in
 shared between both.
 """
 
+from repro.engine.backend import (
+    BACKEND_NAMES,
+    EngineBackend,
+    ScalarBackend,
+    SoeRunSpec,
+    get_backend,
+    numpy_available,
+)
 from repro.engine.recorder import IntervalRecorder, IntervalSample
 from repro.engine.results import SingleThreadResult, SoeRunResult, ThreadStats
 from repro.engine.segments import Segment, SegmentStream, stream_from_segments
@@ -16,16 +24,22 @@ from repro.engine.singlethread import run_single_thread
 from repro.engine.soe import RunLimits, SoeEngine, SoeParams, run_soe
 
 __all__ = [
+    "BACKEND_NAMES",
+    "EngineBackend",
     "IntervalRecorder",
     "IntervalSample",
     "RunLimits",
+    "ScalarBackend",
     "Segment",
     "SegmentStream",
     "SingleThreadResult",
     "SoeEngine",
     "SoeParams",
     "SoeRunResult",
+    "SoeRunSpec",
     "ThreadStats",
+    "get_backend",
+    "numpy_available",
     "run_single_thread",
     "run_soe",
     "stream_from_segments",

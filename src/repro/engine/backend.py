@@ -1,0 +1,148 @@
+"""Engine backends: pluggable substrates for batches of SOE runs.
+
+The evaluation grid is thousands of independent (pair x fairness-level
+x seed) simulations, so the execution layer talks to the engine through
+a batch interface: an :class:`EngineBackend` takes a list of
+self-contained :class:`SoeRunSpec` values and returns one
+:class:`~repro.engine.results.SoeRunResult` per spec, in order.
+
+Two backends implement it:
+
+* :class:`ScalarBackend` -- the reference: each spec runs on the exact
+  event-driven :class:`~repro.engine.soe.SoeEngine`. Supports every
+  configuration and stays bit-identical to direct ``run_soe`` calls.
+* ``BatchBackend`` (:mod:`repro.engine.batch`) -- a vectorized engine
+  that advances every run in the batch simultaneously as numpy arrays.
+  Requires numpy and supports the evaluation's configuration envelope
+  (see :meth:`EngineBackend.supports`); docs/SIMULATORS.md documents
+  the equivalence guarantees.
+
+:func:`get_backend` resolves a backend by name. ``"auto"`` prefers the
+vectorized backend and silently falls back to scalar when numpy is not
+installed, so environments without numpy lose only speed, never
+functionality.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+from dataclasses import dataclass, field
+from typing import Optional, Protocol, Sequence, runtime_checkable
+
+from repro.core.controller import FairnessController, FairnessParams
+from repro.core.policy import SwitchPolicy
+from repro.engine.results import SoeRunResult
+from repro.engine.segments import SegmentStream
+from repro.engine.soe import RunLimits, SoeParams, run_soe
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "BACKEND_NAMES",
+    "EngineBackend",
+    "ScalarBackend",
+    "SoeRunSpec",
+    "get_backend",
+    "numpy_available",
+]
+
+#: Legal ``--backend`` values: the two concrete backends plus the
+#: availability-driven selector.
+BACKEND_NAMES = ("scalar", "batch", "auto")
+
+
+@dataclass(frozen=True)
+class SoeRunSpec:
+    """Everything one SOE run needs, as pure data.
+
+    ``fairness`` is the run's :class:`FairnessParams`, or None for the
+    unenforced baseline (miss-only switching). Specs carry parameters
+    rather than live policy objects so a backend can either instantiate
+    a scalar :class:`FairnessController` per run or fold the whole
+    batch's controllers into arrays.
+    """
+
+    streams: tuple[SegmentStream, ...]
+    fairness: Optional[FairnessParams] = None
+    params: SoeParams = field(default_factory=SoeParams)
+    limits: RunLimits = field(default_factory=RunLimits)
+
+    def __post_init__(self) -> None:
+        if len(self.streams) < 2:
+            raise ConfigurationError("an SOE run spec needs at least two threads")
+
+    @property
+    def num_threads(self) -> int:
+        return len(self.streams)
+
+    def make_policy(self) -> Optional[SwitchPolicy]:
+        """A fresh scalar policy for this spec (None = baseline)."""
+        if self.fairness is None:
+            return None
+        return FairnessController(self.num_threads, self.fairness)
+
+
+@runtime_checkable
+class EngineBackend(Protocol):
+    """Substrate interface the execution layer programs against."""
+
+    #: Stable identifier ("scalar", "batch") used in cache keys and logs.
+    name: str
+
+    def supports(self, spec: SoeRunSpec) -> bool:
+        """Whether this backend can execute ``spec``.
+
+        Callers route unsupported specs to the scalar reference; a
+        backend must never silently approximate a configuration it
+        cannot faithfully run.
+        """
+        ...
+
+    def run_batch(self, specs: Sequence[SoeRunSpec]) -> list[SoeRunResult]:
+        """Execute every spec, returning results in spec order."""
+        ...
+
+
+class ScalarBackend:
+    """The reference backend: one exact event-driven engine per spec."""
+
+    name = "scalar"
+
+    def supports(self, spec: SoeRunSpec) -> bool:
+        return True
+
+    def run_batch(self, specs: Sequence[SoeRunSpec]) -> list[SoeRunResult]:
+        return [
+            run_soe(spec.streams, spec.make_policy(), spec.params, spec.limits)
+            for spec in specs
+        ]
+
+
+def numpy_available() -> bool:
+    """Whether numpy can be imported (checked without importing it)."""
+    return importlib.util.find_spec("numpy") is not None
+
+
+def get_backend(name: str = "scalar") -> EngineBackend:
+    """Resolve a backend by name.
+
+    ``"scalar"`` always works; ``"batch"`` raises
+    :class:`~repro.errors.ConfigurationError` when numpy is missing;
+    ``"auto"`` picks the vectorized backend when numpy is installed and
+    silently falls back to scalar otherwise.
+    """
+    if name not in BACKEND_NAMES:
+        raise ConfigurationError(
+            f"unknown engine backend {name!r}; expected one of {BACKEND_NAMES}"
+        )
+    if name == "scalar":
+        return ScalarBackend()
+    if not numpy_available():
+        if name == "auto":
+            return ScalarBackend()
+        raise ConfigurationError(
+            "the 'batch' engine backend needs numpy, which is not "
+            "installed; use --backend scalar (or auto, which falls back)"
+        )
+    from repro.engine.batch import BatchBackend
+
+    return BatchBackend()

@@ -171,15 +171,18 @@ class SoeEngine:
             return
         for _ in range(MAX_EVENTS):
             fired = False
-            if policy.next_boundary(self.now) <= self.now + _EPS:
-                policy.on_boundary(policy.next_boundary(self.now))
+            # Evaluate each schedule exactly once per iteration: a
+            # policy whose ``next_boundary`` advances on query must see
+            # the value that passed the guard handed to ``on_boundary``.
+            boundary = policy.next_boundary(self.now)
+            if boundary <= self.now + _EPS:
+                policy.on_boundary(boundary)
                 fired = True
-            if (
-                recorder is not None
-                and recorder.next_boundary(self.now) <= self.now + _EPS
-            ):
-                recorder.on_boundary(recorder.next_boundary(self.now), self)
-                fired = True
+            if recorder is not None:
+                recorder_boundary = recorder.next_boundary(self.now)
+                if recorder_boundary <= self.now + _EPS:
+                    recorder.on_boundary(recorder_boundary, self)
+                    fired = True
             if not fired:
                 return
         states = "; ".join(
@@ -219,6 +222,13 @@ class SoeEngine:
                 self._fire_due_boundaries()
                 continue
             self.now += step
+            if math.isfinite(boundary) and abs(boundary - self.now) <= _EPS:
+                # ``now += step`` accumulates float drift, so a step cut
+                # at the boundary can land a hair off it and leave the
+                # next ``boundary - now`` within _EPS on the wrong side,
+                # firing a sampling boundary one iteration late. Snap to
+                # the boundary so sampling periods stay exact.
+                self.now = boundary
             if kind == "idle":
                 self.idle_cycles += step
             else:
@@ -321,7 +331,22 @@ class SoeEngine:
         target = min(pending)
         if target <= self.now + _EPS:
             raise SimulationError("idle requested while a thread is ready")
-        self._elapse_inactive(min(target, limits.max_cycles) - self.now, "idle")
+        cap = limits.max_cycles
+        if target >= cap:
+            # Every pending ``ready_at`` lies at or beyond the hard
+            # cycle cap. The naive ``min(target, cap) - now`` elapse is
+            # non-positive once ``now`` sits within _EPS of the cap,
+            # which would advance nothing and spin the run loop forever
+            # on an all-idle span; elapse straight to the cap and pin
+            # ``now`` there so the loop's max_cycles check terminates.
+            remaining = cap - self.now
+            if remaining > _EPS:
+                self._elapse_inactive(remaining, "idle")
+            if self.now < cap:
+                self.idle_cycles += cap - self.now
+                self.now = cap
+            return
+        self._elapse_inactive(target - self.now, "idle")
 
     def _step_active(self, limits: RunLimits) -> None:
         thread = self._active

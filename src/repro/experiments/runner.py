@@ -51,7 +51,7 @@ from pathlib import Path
 from typing import Callable, Iterable, Iterator, Optional, Sequence, TypeVar, Union
 
 from repro import faults
-from repro.core.controller import FairnessController
+from repro.engine.backend import BACKEND_NAMES, SoeRunSpec, get_backend
 from repro.engine.singlethread import run_single_thread
 from repro.engine.results import SoeRunResult
 from repro.engine.soe import run_soe
@@ -112,10 +112,13 @@ _CODE_VERSION_MODULES = (
     "repro.core.fairness",
     "repro.core.model",
     "repro.core.policy",
+    "repro.engine.backend",
+    "repro.engine.batch",
     "repro.engine.results",
     "repro.engine.segments",
     "repro.engine.singlethread",
     "repro.engine.soe",
+    "repro.workloads.materialize",
     "repro.workloads.pairs",
     "repro.workloads.profiles",
     "repro.workloads.spec2000",
@@ -157,6 +160,13 @@ class ExecutionSettings:
     existing journal, and ``on_failure`` picks between aborting with
     the partial outcome attached (``abort``) and returning a degraded
     outcome (``degrade``).
+
+    ``backend`` selects the engine substrate for SOE tasks (see
+    :mod:`repro.engine.backend`): ``"scalar"`` runs each task on the
+    exact event-driven engine under full supervision; ``"batch"``
+    vectorizes supported SOE tasks in-process with numpy (supervision,
+    timeouts and fault injection do not apply to the batched portion);
+    ``"auto"`` uses the vectorized backend when numpy is installed.
     """
 
     jobs: int = 1
@@ -166,10 +176,16 @@ class ExecutionSettings:
     on_failure: str = "abort"
     checkpoint: Optional[Path] = None
     resume: bool = False
+    backend: str = "scalar"
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ConfigurationError("jobs must be a positive process count")
+        if self.backend not in BACKEND_NAMES:
+            raise ConfigurationError(
+                f"backend must be one of {BACKEND_NAMES}, "
+                f"got {self.backend!r}"
+            )
         if self.cache_dir is not None and not isinstance(self.cache_dir, Path):
             object.__setattr__(self, "cache_dir", Path(self.cache_dir))
         if self.checkpoint is not None and not isinstance(self.checkpoint, Path):
@@ -410,16 +426,22 @@ def _run_st_task(task: _StTask) -> float:
     ).ipc
 
 
-def _run_soe_task(task: _SoeTask) -> SoeRunResult:
+def _soe_run_spec(task: _SoeTask) -> SoeRunSpec:
+    """The task's run as pure data, ready for any engine backend."""
     config = task.config
-    streams = task.pair.streams(seed=config.seed)
-    if task.level > 0.0:
-        policy = FairnessController(
-            len(streams), config.fairness_params(task.level)
-        )
-    else:
-        policy = None
-    return run_soe(streams, policy, config.soe_params(), config.run_limits())
+    return SoeRunSpec(
+        streams=task.pair.streams(seed=config.seed),
+        fairness=(
+            config.fairness_params(task.level) if task.level > 0.0 else None
+        ),
+        params=config.soe_params(),
+        limits=config.run_limits(),
+    )
+
+
+def _run_soe_task(task: _SoeTask) -> SoeRunResult:
+    spec = _soe_run_spec(task)
+    return run_soe(spec.streams, spec.make_policy(), spec.params, spec.limits)
 
 
 def _run_grid_task(task: Union[_StTask, _SoeTask]) -> object:
@@ -823,6 +845,45 @@ def run_grid(
                 for position, spec in enumerate(specs)
                 if position not in task_values
             ]
+
+            # Vectorized pre-pass: with a non-scalar backend, supported
+            # SOE tasks run in-process as one array-advanced batch. The
+            # remainder (ST baselines plus any SOE task outside the
+            # backend's envelope) goes through the supervised executor
+            # unchanged. Batched results are validated and journaled
+            # exactly like supervised ones; supervision itself
+            # (timeouts, retries, fault injection) does not apply to
+            # the in-process batch.
+            backend = get_backend(settings.backend)
+            if backend.name != "scalar" and to_run:
+                batched: list[int] = []
+                batch_specs: list[SoeRunSpec] = []
+                for position, spec in to_run:
+                    if isinstance(spec, _SoeTask):
+                        run_spec = _soe_run_spec(spec)
+                        if backend.supports(run_spec):
+                            batched.append(position)
+                            batch_specs.append(run_spec)
+                if batch_specs:
+                    for position, value in zip(
+                        batched, backend.run_batch(batch_specs)
+                    ):
+                        check_invariants(value)
+                        task_values[position] = value
+                        if writer is not None:
+                            writer.record("soe", keys[position], value)
+                            if sink.wants(_TRACE_RUNNER):
+                                sink.emit(
+                                    checkpoint_event(
+                                        "write", 1, str(settings.checkpoint)
+                                    )
+                                )
+                    to_run = [
+                        (position, spec)
+                        for position, spec in to_run
+                        if position not in task_values
+                    ]
+
             traced = sink.enabled
             call: Callable = (
                 _TracedCall(_run_grid_task) if traced else _run_grid_task

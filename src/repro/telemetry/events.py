@@ -45,6 +45,7 @@ __all__ = [
     "task_event",
     "task_retry",
     "task_failed",
+    "batch_event",
     "cache_event",
     "checkpoint_event",
     "validate_event",
@@ -74,6 +75,7 @@ _CACHE_OUTCOMES = frozenset(("hit", "miss", "corrupt", "sweep"))
 #: Failure classifications (mirrors :data:`repro.errors.FAILURE_REASONS`).
 _FAILURE_REASONS = frozenset(("timeout", "crash", "invariant", "error"))
 _CHECKPOINT_ACTIONS = frozenset(("write", "resume"))
+_BATCH_PHASES = frozenset(("start", "stop"))
 
 Number = Union[int, float, str]
 
@@ -237,6 +239,30 @@ def task_failed(kind: str, label: str, attempts: int, reason: str) -> dict:
     }
 
 
+def batch_event(
+    phase: str,
+    backend: str,
+    runs: int,
+    iterations: Optional[int] = None,
+) -> dict:
+    """A vectorized batch of engine runs starting or stopping.
+
+    The batch backend advances many runs per data-parallel iteration,
+    so per-event tracing does not apply; this single event reports the
+    batch's shape (``runs``) and, on stop, how many lockstep iterations
+    it took.
+    """
+    return {
+        "event": "batch",
+        "cat": RUNNER,
+        "v": SCHEMA_VERSION,
+        "phase": phase,
+        "backend": backend,
+        "runs": runs,
+        "iterations": iterations,
+    }
+
+
 def cache_event(outcome: str, label: str) -> dict:
     """One on-disk result-cache event for a grid cell or cache file.
 
@@ -293,6 +319,10 @@ def _int_list(value: object) -> bool:
 
 def _optional_number(value: object) -> bool:
     return value is None or _is_number(value)
+
+
+def _optional_int(value: object) -> bool:
+    return value is None or _is_int(value)
 
 
 def _string(value: object) -> bool:
@@ -371,6 +401,15 @@ EVENT_SCHEMAS: Mapping[str, tuple] = {
             "label": _string,
             "attempts": _is_int,
             "reason": _enum(*_FAILURE_REASONS),
+        },
+    ),
+    "batch": (
+        RUNNER,
+        {
+            "phase": _enum(*_BATCH_PHASES),
+            "backend": _string,
+            "runs": _is_int,
+            "iterations": _optional_int,
         },
     ),
     "cache": (

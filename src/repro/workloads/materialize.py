@@ -1,0 +1,210 @@
+"""Batched, column-oriented segment materialization.
+
+The scalar engine consumes :class:`~repro.engine.segments.Segment`
+objects one at a time. The vectorized batch backend instead wants the
+same sequences as *columns* -- parallel arrays of instructions, cycles,
+miss flags and per-segment latencies -- pulled in chunks so that
+thousands of concurrent runs never hold more than a bounded window of
+segments each.
+
+Determinism note: the columns are materialized from the **same**
+iterators :meth:`SegmentStream.segments` hands the scalar engine, so
+both backends observe the identical segment sequence for a given seed.
+(The lognormal draws come from :class:`random.Random`; re-drawing them
+with a different generator would silently change every workload.)
+
+This module is deliberately numpy-free: columns are plain Python lists
+that the batch backend converts to arrays. That keeps the workloads
+layer importable -- and the scalar path fully functional -- on
+interpreters without numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from itertools import islice
+from typing import Iterator, Optional
+
+from repro.engine.segments import Segment, SegmentStream
+from repro.errors import ConfigurationError, WorkloadError
+
+__all__ = [
+    "SegmentColumns",
+    "ChunkedMaterializer",
+    "materialize_segments",
+    "ColumnStream",
+    "columnize",
+]
+
+#: Default number of segments pulled per refill. Large enough to
+#: amortize the per-chunk Python overhead, small enough that a batch of
+#: thousands of lanes keeps a modest footprint (a chunk is ~4 columns
+#: of ``chunk_size`` floats per lane).
+DEFAULT_CHUNK_SIZE = 256
+
+
+@dataclass
+class SegmentColumns:
+    """A run of consecutive segments as parallel columns.
+
+    ``miss_latency`` holds NaN where the segment uses the machine's
+    default memory latency, mirroring ``Segment.miss_latency is None``;
+    consumers substitute their configured latency for NaN entries.
+    ``exhausted`` is True when the underlying stream ended inside (or
+    exactly at the end of) this chunk -- the columns then hold the
+    stream's final segments and no further chunk will produce data.
+    """
+
+    instructions: list[float] = field(default_factory=list)
+    cycles: list[float] = field(default_factory=list)
+    ends_with_miss: list[bool] = field(default_factory=list)
+    miss_latency: list[float] = field(default_factory=list)
+    exhausted: bool = False
+    #: Consumer-owned cache slot for an array-converted rendering of
+    #: the columns (the batch engine memoizes its numpy conversion here
+    #: so reruns of the same workload skip the list-to-array cost).
+    #: Never populated by this module; excluded from equality.
+    arrays_cache: Optional[object] = field(
+        default=None, repr=False, compare=False
+    )
+
+    def __len__(self) -> int:
+        return len(self.instructions)
+
+    def append(self, segment: Segment) -> None:
+        self.instructions.append(segment.instructions)
+        self.cycles.append(segment.cycles)
+        self.ends_with_miss.append(segment.ends_with_miss)
+        self.miss_latency.append(
+            math.nan if segment.miss_latency is None else segment.miss_latency
+        )
+
+    def segment_at(self, index: int) -> Segment:
+        """The row at ``index`` as a scalar :class:`Segment` (tests and
+        debugging; the batch engine reads the columns directly)."""
+        latency = self.miss_latency[index]
+        return Segment(
+            instructions=self.instructions[index],
+            cycles=self.cycles[index],
+            ends_with_miss=self.ends_with_miss[index],
+            miss_latency=None if math.isnan(latency) else latency,
+        )
+
+
+class ChunkedMaterializer:
+    """Pulls one stream's segments into successive column chunks.
+
+    One materializer wraps one live iterator, so chunks are consumed
+    strictly in stream order; the batch engine keeps one per
+    (run, thread) lane and refills whenever the lane's pointer reaches
+    the end of its buffered columns.
+    """
+
+    def __init__(
+        self, stream: SegmentStream, chunk_size: int = DEFAULT_CHUNK_SIZE
+    ) -> None:
+        if chunk_size <= 0:
+            raise ConfigurationError("chunk_size must be positive")
+        self._iterator: Iterator[Segment] = stream.segments()
+        self._chunk_size = chunk_size
+        self._exhausted = False
+        #: Total segments handed out so far (diagnostics/telemetry).
+        self.materialized = 0
+
+    @property
+    def exhausted(self) -> bool:
+        """True once the underlying stream has ended; subsequent
+        :meth:`take` calls return empty exhausted chunks."""
+        return self._exhausted
+
+    def take(self, count: Optional[int] = None) -> SegmentColumns:
+        """Materialize up to ``count`` further segments (default: the
+        configured chunk size) as columns."""
+        if count is None:
+            count = self._chunk_size
+        if count <= 0:
+            raise ConfigurationError("count must be positive")
+        columns = SegmentColumns()
+        if self._exhausted:
+            columns.exhausted = True
+            return columns
+        # Bulk-pull via islice: consumes exactly the same iterator in
+        # the same order as per-segment next() calls, but builds the
+        # columns with C-speed comprehensions instead of per-segment
+        # appends (the batch engine refills thousands of lanes).
+        segments = list(islice(self._iterator, count))
+        if len(segments) < count:
+            self._exhausted = True
+        columns.instructions = [s.instructions for s in segments]
+        columns.cycles = [s.cycles for s in segments]
+        columns.ends_with_miss = [s.ends_with_miss for s in segments]
+        columns.miss_latency = [
+            math.nan if s.miss_latency is None else s.miss_latency
+            for s in segments
+        ]
+        columns.exhausted = self._exhausted
+        self.materialized += len(columns)
+        return columns
+
+
+class ColumnStream(SegmentStream):
+    """A finite segment stream backed by pre-materialized columns.
+
+    Both substrates consume it natively: :meth:`segments` yields scalar
+    :class:`Segment` objects (cached, so replays pay no rebuild), while
+    the batch engine reads :attr:`columns` directly as arrays and never
+    touches the iterator. The columns are the *whole* stream -- build
+    one with :func:`columnize`, which truncates an infinite workload to
+    an explicit segment budget.
+    """
+
+    def __init__(self, columns: SegmentColumns, name: str = "") -> None:
+        if len(columns) == 0:
+            raise WorkloadError("a column stream needs at least one segment")
+        self.columns = columns
+        self._cache: Optional[list[Segment]] = None
+        super().__init__(self._replay, name=name)
+
+    def _replay(self) -> Iterator[Segment]:
+        if self._cache is None:
+            columns = self.columns
+            self._cache = [
+                columns.segment_at(index) for index in range(len(columns))
+            ]
+        return iter(self._cache)
+
+
+def columnize(
+    stream: SegmentStream, count: int, name: str = ""
+) -> ColumnStream:
+    """Materialize a stream's first ``count`` segments as a
+    :class:`ColumnStream`.
+
+    The result is a *finite* stream of exactly the materialized
+    segments: columnizing a window of an infinite workload truncates
+    it, deliberately and visibly.
+    """
+    return ColumnStream(
+        materialize_segments(stream, count), name=name or stream.name
+    )
+
+
+def materialize_segments(
+    stream: SegmentStream, count: int, chunk_size: int = DEFAULT_CHUNK_SIZE
+) -> SegmentColumns:
+    """Eagerly materialize the stream's first ``count`` segments.
+
+    Convenience for tests and benchmarks; returns fewer rows (with
+    ``exhausted`` set) when the stream is finite and shorter.
+    """
+    materializer = ChunkedMaterializer(stream, chunk_size=chunk_size)
+    columns = SegmentColumns()
+    while len(columns) < count and not materializer.exhausted:
+        chunk = materializer.take(min(chunk_size, count - len(columns)))
+        columns.instructions.extend(chunk.instructions)
+        columns.cycles.extend(chunk.cycles)
+        columns.ends_with_miss.extend(chunk.ends_with_miss)
+        columns.miss_latency.extend(chunk.miss_latency)
+    columns.exhausted = materializer.exhausted
+    return columns

@@ -1,0 +1,244 @@
+"""Three-way differential suite: closed-form <-> scalar <-> batch.
+
+The vectorized backend earns its keep only if it is indistinguishable
+from the exact scalar engine, which in turn must track the paper's
+closed-form model where the model applies. This suite checks the full
+default pair grid (all evaluation pairs at every default fairness
+level) for *bit-identical* scalar/batch agreement -- the batch
+backend's documented tolerance is zero on the supported envelope --
+plus Eq. 2 agreement on deterministic workloads, and equivalence
+across the three segment-stream representations the batch backend
+consumes (generator-chunked, columnar, and mixed).
+
+Run lengths are reduced the same way tests/experiments/test_grid.py
+reduces them: the equivalence claim is scale-free (both engines see
+identical segment sequences at any length), so a shorter run probes
+the same code paths in a fraction of the time.
+"""
+
+from dataclasses import replace
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from repro.core.controller import FairnessParams
+from repro.core.model import SoeModel, ThreadParams
+from repro.engine.backend import ScalarBackend, SoeRunSpec
+from repro.engine.batch import BatchBackend
+from repro.engine.segments import stream_from_segments
+from repro.engine.soe import RunLimits, SoeParams
+from repro.experiments.common import EvalConfig
+from repro.workloads.materialize import columnize, materialize_segments
+from repro.workloads.pairs import evaluation_pairs
+from repro.workloads.synthetic import uniform_stream
+
+CONFIG = EvalConfig(
+    sample_period=100_000.0,
+    min_instructions=400_000.0,
+    warmup_instructions=150_000.0,
+)
+
+
+def _grid_specs(config=CONFIG):
+    """Every (pair, level) cell of the default grid as run specs."""
+    specs = []
+    for pair in evaluation_pairs():
+        for level in config.fairness_levels:
+            specs.append(
+                SoeRunSpec(
+                    streams=pair.streams(seed=config.seed),
+                    fairness=(
+                        config.fairness_params(level) if level > 0.0 else None
+                    ),
+                    params=config.soe_params(),
+                    limits=config.run_limits(),
+                )
+            )
+    return specs
+
+
+class TestFullDefaultGrid:
+    def test_scalar_and_batch_bit_identical_on_every_cell(self):
+        specs = _grid_specs()
+        scalar = ScalarBackend().run_batch(specs)
+        batch = BatchBackend().run_batch(specs)
+        mismatched = [
+            index
+            for index, (a, b) in enumerate(zip(scalar, batch))
+            if a != b
+        ]
+        assert mismatched == []
+        assert len(batch) == len(evaluation_pairs()) * len(
+            CONFIG.fairness_levels
+        )
+
+    def test_batch_supports_the_whole_default_grid(self):
+        backend = BatchBackend()
+        assert all(backend.supports(spec) for spec in _grid_specs())
+
+
+class TestClosedFormAgreement:
+    """Both backends must reproduce Eq. 2 on deterministic workloads."""
+
+    CASES = [
+        (2.5, 15_000.0, 1.2, 900.0),
+        (1.0, 5_000.0, 1.0, 5_000.0),
+        (3.0, 25_000.0, 0.6, 400.0),
+    ]
+
+    def _spec(self, ipc1, ipm1, ipc2, ipm2):
+        return SoeRunSpec(
+            streams=(uniform_stream(ipc1, ipm1), uniform_stream(ipc2, ipm2)),
+            params=SoeParams(miss_lat=300, switch_lat=25),
+            limits=RunLimits(min_instructions=max(ipm1, ipm2) * 20),
+        )
+
+    @pytest.mark.parametrize("ipc1,ipm1,ipc2,ipm2", CASES)
+    def test_batch_matches_eq2(self, ipc1, ipm1, ipc2, ipm2):
+        model = SoeModel(
+            [ThreadParams(ipc1, ipm1), ThreadParams(ipc2, ipm2)],
+            miss_lat=300,
+            switch_lat=25,
+        )
+        (result,) = BatchBackend().run_batch(
+            [self._spec(ipc1, ipm1, ipc2, ipm2)]
+        )
+        quota_switches = sum(t.cycle_quota_switches for t in result.threads)
+        if result.idle_cycles == 0 and quota_switches == 0:
+            for measured, predicted in zip(result.ipcs, model.soe_ipcs(0.0)):
+                assert abs(measured - predicted) / predicted < 0.05
+
+    @pytest.mark.parametrize("ipc1,ipm1,ipc2,ipm2", CASES)
+    def test_batch_matches_scalar_on_model_workloads(
+        self, ipc1, ipm1, ipc2, ipm2
+    ):
+        spec = self._spec(ipc1, ipm1, ipc2, ipm2)
+        (scalar,) = ScalarBackend().run_batch([spec])
+        (batch,) = BatchBackend().run_batch([spec])
+        assert scalar == batch
+
+
+class TestStreamRepresentations:
+    """Chunked, columnar, and mixed lanes are one and the same run."""
+
+    def _base_streams(self, seed):
+        return (
+            uniform_stream(2.2, 9_000, ipm_cv=0.6, ipc_cv=0.2, seed=seed),
+            uniform_stream(0.9, 700, ipm_cv=0.8, ipc_cv=0.3, seed=seed + 50),
+        )
+
+    def test_columnar_and_chunked_lanes_bit_identical(self):
+        limits = RunLimits(
+            min_instructions=150_000.0, warmup_instructions=40_000.0
+        )
+        fairness = FairnessParams(
+            fairness_target=0.5, sample_period=40_000.0, miss_lat=300.0
+        )
+        variants = []
+        for mode in ("chunked", "columnar", "mixed"):
+            specs = []
+            for seed in range(6):
+                a, b = self._base_streams(seed)
+                if mode == "columnar":
+                    a, b = columnize(a, 400), columnize(b, 400)
+                elif mode == "mixed":
+                    a = columnize(a, 400)
+                specs.append(
+                    SoeRunSpec(
+                        streams=(a, b),
+                        fairness=fairness if seed % 2 else None,
+                        limits=limits,
+                    )
+                )
+            variants.append(BatchBackend().run_batch(specs))
+        chunked, columnar, mixed = variants
+        assert chunked == columnar == mixed
+        scalar = ScalarBackend().run_batch(
+            [
+                SoeRunSpec(
+                    streams=self._base_streams(seed),
+                    fairness=fairness if seed % 2 else None,
+                    limits=limits,
+                )
+                for seed in range(6)
+            ]
+        )
+        assert chunked == scalar
+
+
+class TestEdgeEnvelope:
+    """Configurations that hit the engine's boundary arithmetic."""
+
+    def _finite_latency_spec(self):
+        # Finite streams with per-segment miss latencies and miss-free
+        # segments: exercises stream exhaustion, the latency override,
+        # and the miss-free join path in both engines.
+        cols_a = materialize_segments(
+            uniform_stream(2.0, 4_000, ipm_cv=0.5, seed=11), 60
+        )
+        segs_a = [
+            replace(cols_a.segment_at(index), miss_latency=150.0)
+            if index % 3 == 0
+            else cols_a.segment_at(index)
+            for index in range(len(cols_a))
+        ]
+        cols_b = materialize_segments(
+            uniform_stream(1.0, 800, ipm_cv=0.5, seed=12), 60
+        )
+        segs_b = [
+            replace(cols_b.segment_at(index), ends_with_miss=False)
+            if index % 4 == 0
+            else cols_b.segment_at(index)
+            for index in range(len(cols_b))
+        ]
+        return SoeRunSpec(
+            streams=(
+                stream_from_segments(segs_a),
+                stream_from_segments(segs_b),
+            ),
+            fairness=FairnessParams(
+                fairness_target=0.75, sample_period=30_000.0
+            ),
+            limits=RunLimits(
+                min_instructions=10_000_000.0, warmup_instructions=5_000.0
+            ),
+        )
+
+    def _edge_specs(self):
+        return [
+            self._finite_latency_spec(),
+            # Zero switch overhead plus a hard cycle cap.
+            SoeRunSpec(
+                streams=(
+                    uniform_stream(2.0, 6_000, seed=3),
+                    uniform_stream(1.0, 500, seed=4),
+                ),
+                params=SoeParams(switch_lat=0.0),
+                limits=RunLimits(
+                    min_instructions=1e18, max_cycles=40_000.0
+                ),
+            ),
+            # Four threads, mixed fairness.
+            SoeRunSpec(
+                streams=tuple(
+                    uniform_stream(
+                        1.5, 2_000 * (t + 1), ipm_cv=0.4, seed=20 + t
+                    )
+                    for t in range(4)
+                ),
+                fairness=FairnessParams(
+                    fairness_target=0.5, sample_period=50_000.0
+                ),
+                limits=RunLimits(
+                    min_instructions=120_000.0,
+                    warmup_instructions=30_000.0,
+                ),
+            ),
+        ]
+
+    def test_edge_specs_bit_identical(self):
+        specs = self._edge_specs()
+        backend = BatchBackend()
+        assert all(backend.supports(spec) for spec in specs)
+        assert backend.run_batch(specs) == ScalarBackend().run_batch(specs)

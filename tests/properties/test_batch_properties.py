@@ -1,0 +1,82 @@
+"""Property-based differential tests for the vectorized batch backend.
+
+Randomized workloads and configurations drawn by hypothesis must never
+separate the batch backend from the scalar reference: on the supported
+envelope the two are bit-identical, and batching runs together must
+not couple them (each run's result is independent of its batchmates).
+"""
+
+import pytest
+
+np = pytest.importorskip("numpy")
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.controller import FairnessParams
+from repro.engine.backend import ScalarBackend, SoeRunSpec
+from repro.engine.batch import BatchBackend
+from repro.engine.soe import RunLimits, SoeParams
+from repro.workloads.synthetic import uniform_stream
+
+ipc_values = st.floats(min_value=0.5, max_value=3.0)
+ipm_values = st.floats(min_value=300.0, max_value=20_000.0)
+cv_values = st.floats(min_value=0.0, max_value=1.0)
+seeds = st.integers(min_value=0, max_value=2**31 - 1)
+targets = st.one_of(st.none(), st.floats(min_value=0.1, max_value=1.0))
+switch_lats = st.sampled_from([0.0, 10.0, 25.0])
+
+LIMITS = RunLimits(min_instructions=60_000.0, warmup_instructions=15_000.0)
+
+
+def _spec(ipc1, ipm1, ipc2, ipm2, cv, seed, target, switch_lat):
+    fairness = (
+        None
+        if target is None
+        else FairnessParams(fairness_target=target, sample_period=25_000.0)
+    )
+    return SoeRunSpec(
+        streams=(
+            uniform_stream(ipc1, ipm1, ipm_cv=cv, ipc_cv=cv / 2, seed=seed),
+            uniform_stream(
+                ipc2, ipm2, ipm_cv=cv, ipc_cv=cv / 2, seed=seed + 1
+            ),
+        ),
+        fairness=fairness,
+        params=SoeParams(switch_lat=switch_lat),
+        limits=LIMITS,
+    )
+
+
+class TestBatchMatchesScalar:
+    @given(
+        ipc_values, ipm_values, ipc_values, ipm_values,
+        cv_values, seeds, targets, switch_lats,
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_single_spec_bit_identical(
+        self, ipc1, ipm1, ipc2, ipm2, cv, seed, target, switch_lat
+    ):
+        spec = _spec(ipc1, ipm1, ipc2, ipm2, cv, seed, target, switch_lat)
+        assert BatchBackend().supports(spec)
+        (scalar,) = ScalarBackend().run_batch([spec])
+        (batch,) = BatchBackend().run_batch([spec])
+        assert scalar == batch
+
+    @given(
+        st.lists(
+            st.tuples(ipc_values, ipm_values, cv_values, seeds, targets),
+            min_size=2,
+            max_size=5,
+        )
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_batchmates_do_not_couple(self, rows):
+        """run_batch(specs) == the concatenation of singleton batches."""
+        specs = [
+            _spec(ipc, ipm, 1.0, 700.0, cv, seed, target, 25.0)
+            for ipc, ipm, cv, seed, target in rows
+        ]
+        together = BatchBackend().run_batch(specs)
+        alone = [BatchBackend().run_batch([spec])[0] for spec in specs]
+        assert together == alone

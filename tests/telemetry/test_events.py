@@ -14,6 +14,7 @@ from repro.telemetry.events import (
     CATEGORIES,
     EVENT_SCHEMAS,
     SCHEMA_VERSION,
+    batch_event,
     cache_event,
     checkpoint_event,
     controller_sample,
@@ -63,6 +64,8 @@ class TestBuilders:
             task_failed("soe_pair", "gcc:eon@F0.5", 3, "crash"),
             checkpoint_event("write", 1, "grid.ckpt"),
             checkpoint_event("resume", 7, "grid.ckpt"),
+            batch_event("start", "batch", 64),
+            batch_event("stop", "batch", 64, iterations=2945),
         ]
         for event in events:
             assert validate_event(event) is event
@@ -78,6 +81,7 @@ class TestBuilders:
             task_retry("k", "l", 2, "crash"),
             task_failed("k", "l", 3, "crash"),
             checkpoint_event("write", 1, "p"),
+            batch_event("start", "batch", 1),
         )}
         assert built == set(EVENT_SCHEMAS)
 

@@ -1,0 +1,169 @@
+"""Tests for column-oriented segment materialization."""
+
+import math
+
+import pytest
+
+from repro.engine.segments import Segment, stream_from_segments
+from repro.errors import ConfigurationError, WorkloadError
+from repro.workloads.materialize import (
+    ChunkedMaterializer,
+    ColumnStream,
+    SegmentColumns,
+    columnize,
+    materialize_segments,
+)
+from repro.workloads.synthetic import uniform_stream
+
+
+class TestChunkedMaterializer:
+    def test_chunks_preserve_stream_order(self):
+        stream = uniform_stream(2.5, 1_000, ipm_cv=0.8, ipc_cv=0.2, seed=7)
+        materializer = ChunkedMaterializer(stream, chunk_size=16)
+        columns = []
+        for _ in range(4):
+            chunk = materializer.take()
+            assert len(chunk) == 16
+            assert not chunk.exhausted
+            columns.append(chunk)
+
+        reference = stream.segments()
+        for chunk in columns:
+            for index in range(len(chunk)):
+                assert chunk.segment_at(index) == next(reference)
+
+    def test_identical_to_scalar_iteration(self):
+        # The columns must come from the same iterator protocol the
+        # scalar engine uses: values match bit-for-bit, not just
+        # approximately.
+        stream = uniform_stream(1.8, 500, ipm_cv=1.0, ipc_cv=0.3, seed=42)
+        chunk = ChunkedMaterializer(stream, chunk_size=64).take()
+        for index, segment in zip(range(len(chunk)), stream.segments()):
+            assert chunk.instructions[index] == segment.instructions
+            assert chunk.cycles[index] == segment.cycles
+
+    def test_finite_stream_sets_exhausted(self):
+        segments = [Segment(100.0, 40.0) for _ in range(5)]
+        materializer = ChunkedMaterializer(
+            stream_from_segments(segments), chunk_size=3
+        )
+        first = materializer.take()
+        assert len(first) == 3 and not first.exhausted
+        second = materializer.take()
+        assert len(second) == 2 and second.exhausted
+        assert materializer.exhausted
+        third = materializer.take()
+        assert len(third) == 0 and third.exhausted
+
+    def test_exact_boundary_exhaustion(self):
+        # A stream ending exactly at a chunk boundary reports exhaustion
+        # on the next (empty) take, never loses the final row.
+        segments = [Segment(10.0, 5.0) for _ in range(4)]
+        materializer = ChunkedMaterializer(
+            stream_from_segments(segments), chunk_size=2
+        )
+        assert len(materializer.take()) == 2
+        assert len(materializer.take()) == 2
+        final = materializer.take()
+        assert len(final) == 0 and final.exhausted
+
+    def test_take_counts_override_chunk_size(self):
+        stream = uniform_stream(2.0, 100, seed=1)
+        materializer = ChunkedMaterializer(stream, chunk_size=8)
+        assert len(materializer.take(3)) == 3
+        assert len(materializer.take(20)) == 20
+        assert materializer.materialized == 23
+
+    def test_invalid_parameters_raise(self):
+        stream = uniform_stream(2.0, 100, seed=1)
+        with pytest.raises(ConfigurationError):
+            ChunkedMaterializer(stream, chunk_size=0)
+        with pytest.raises(ConfigurationError):
+            ChunkedMaterializer(stream).take(0)
+
+
+class TestColumnEncoding:
+    def test_default_latency_encodes_as_nan(self):
+        segments = [
+            Segment(10.0, 5.0),
+            Segment(10.0, 5.0, miss_latency=75.0),
+            Segment(10.0, 5.0, ends_with_miss=False),
+        ]
+        chunk = ChunkedMaterializer(stream_from_segments(segments)).take()
+        assert math.isnan(chunk.miss_latency[0])
+        assert chunk.miss_latency[1] == 75.0
+        assert chunk.ends_with_miss == [True, True, False]
+
+    def test_segment_round_trip(self):
+        segments = [
+            Segment(10.0, 5.0, miss_latency=75.0),
+            Segment(3.0, 2.0, ends_with_miss=False),
+        ]
+        chunk = ChunkedMaterializer(stream_from_segments(segments)).take()
+        assert [chunk.segment_at(0), chunk.segment_at(1)] == segments
+
+
+class TestMaterializeSegments:
+    def test_eager_window(self):
+        stream = uniform_stream(2.5, 1_000, ipm_cv=0.5, seed=3)
+        columns = materialize_segments(stream, 100, chunk_size=7)
+        assert len(columns) == 100
+        assert not columns.exhausted
+        for index, segment in zip(range(100), stream.segments()):
+            assert columns.segment_at(index) == segment
+
+    def test_short_finite_stream(self):
+        segments = [Segment(10.0, 5.0) for _ in range(4)]
+        columns = materialize_segments(stream_from_segments(segments), 100)
+        assert len(columns) == 4
+        assert columns.exhausted
+
+
+class TestColumnStream:
+    def test_replays_exactly_the_materialized_window(self):
+        source = uniform_stream(2.0, 1_500, ipm_cv=0.7, ipc_cv=0.2, seed=9)
+        stream = columnize(source, 50)
+        replayed = list(stream.segments())
+        assert len(replayed) == 50
+        for segment, original in zip(replayed, source.segments()):
+            assert segment == original
+
+    def test_replay_is_restartable_and_cached(self):
+        stream = columnize(uniform_stream(2.0, 800, ipm_cv=0.5, seed=2), 30)
+        first = list(stream.segments())
+        second = list(stream.segments())
+        assert first == second
+        assert first[0] is second[0]
+
+    def test_columnize_truncates_infinite_streams(self):
+        stream = columnize(uniform_stream(2.0, 800, seed=1), 12)
+        assert len(list(stream.segments())) == 12
+
+    def test_columnize_keeps_the_source_name(self):
+        named = uniform_stream(2.0, 800, seed=1)
+        assert columnize(named, 4).name == named.name
+        assert columnize(named, 4, name="alias").name == "alias"
+
+    def test_empty_columns_rejected(self):
+        with pytest.raises(WorkloadError, match="at least one segment"):
+            ColumnStream(SegmentColumns())
+
+
+class TestArraysCache:
+    def test_cache_slot_excluded_from_equality_and_repr(self):
+        a = materialize_segments(
+            stream_from_segments([Segment(10.0, 5.0)]), 1
+        )
+        b = materialize_segments(
+            stream_from_segments([Segment(10.0, 5.0)]), 1
+        )
+        assert a == b
+        a.arrays_cache = ("sentinel",)
+        assert a == b
+        assert "sentinel" not in repr(a)
+
+    def test_cache_slot_starts_empty(self):
+        columns = materialize_segments(
+            stream_from_segments([Segment(10.0, 5.0)]), 1
+        )
+        assert columns.arrays_cache is None
