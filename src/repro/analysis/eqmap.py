@@ -4,6 +4,8 @@ The reproduction's contract with the paper is carried by docstrings:
 a function whose docstring *starts* with ``Eq. N:`` **claims** to be
 the canonical implementation of that equation; any other ``Eq. N``
 appearing in a docstring is a **mention** (context, cross-reference).
+References to *other* papers' numbering -- ``Eq. N of <Source>`` /
+``Eq. N in <Source>``, with a capitalized source -- are neither.
 This module extracts both, builds the equation registry from the
 numbers PAPER.md actually cites (Equations 1-10 and 11-13 for this
 paper), and renders the coverage map — as terminal text with an ASCII
@@ -55,6 +57,13 @@ EQUATION_TITLES: Dict[int, str] = {
 #: ``Eq. 4`` / ``Eqs. 11-12`` / ``Equations 1-10`` (hyphen or en dash).
 _EQ_REF = re.compile(r"(?:Eqs?\.|Equations?)\s*(\d+)(?:\s*[-–]\s*(\d+))?")
 
+#: ``Eq. N of <Source>`` / ``Eq. N in <Source>`` cites *another* paper's
+#: numbering (the source starts with a capital letter, optionally after
+#: a quote or parenthesis), so it is neither a claim nor a mention of
+#: this paper's equations. Plain prose like ``Eq. 1 in the limit`` is
+#: lowercase and still counts.
+_EXTERNAL_SOURCE = re.compile(r"\s+(?:of|in)\s+['\"(]?[A-Z]")
+
 #: A docstring whose first line reads ``Eq. N: ...`` claims equation N.
 _EQ_CLAIM = re.compile(r"^Eq\.\s*(\d+)\s*:")
 
@@ -88,6 +97,8 @@ class EqMention:
 def _iter_numbers(text: str) -> Iterator[Tuple[int, int]]:
     """Yield ``(number, match_start)`` for every reference, ranges expanded."""
     for match in _EQ_REF.finditer(text):
+        if _EXTERNAL_SOURCE.match(text, match.end()):
+            continue  # cites another paper's equation numbering
         first = int(match.group(1))
         last = int(match.group(2)) if match.group(2) else first
         if last < first or last - first > _MAX_RANGE:

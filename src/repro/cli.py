@@ -13,6 +13,10 @@ Examples::
     python -m repro lint --eq-table      # paper-equation coverage map
     python -m repro bench                # perf harness (BENCH_*.json)
     python -m repro bench --compare      # gate against benchmarks/baseline.json
+    python -m repro policies             # the registered switch policies
+    python -m repro frontier             # cross-policy fairness/throughput
+    python -m repro fig7 --policy drr-arbiter   # rerun a figure under a policy
+    python -m repro frontier --policies none,fairness,drr-arbiter
 
 Fault tolerance (``docs/ROBUSTNESS.md``)::
 
@@ -70,8 +74,8 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        help="experiment id, 'all', 'list', 'lint', 'bench', or "
-        "'trace-summary'",
+        help="experiment id, 'all', 'list', 'policies', 'lint', 'bench', "
+        "or 'trace-summary'",
     )
     parser.add_argument(
         "path",
@@ -86,6 +90,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--seed", type=int, default=0, help="workload seed (default 0)"
+    )
+    parser.add_argument(
+        "--policy",
+        metavar="NAME",
+        help="switch policy enforcing the non-zero fairness levels "
+             "(default: fairness, the paper's mechanism; see "
+             "'python -m repro policies' for the registry)",
+    )
+    parser.add_argument(
+        "--policies",
+        metavar="NAMES",
+        help="comma-separated policies the frontier experiment sweeps "
+             "(default: every registered policy; frontier only)",
     )
     parser.add_argument(
         "--jobs",
@@ -187,24 +204,55 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _config_for(scale: str, seed: int) -> EvalConfig:
+def _config_for(
+    scale: str, seed: int, policy: Optional[str] = None
+) -> EvalConfig:
     if scale == "paper":
         base = EvalConfig.paper_scale()
     elif scale == "quick":
         base = EvalConfig.quick()
     else:
         base = EvalConfig()
-    if seed == base.seed:
+    if seed == base.seed and policy is None:
         return base
     from dataclasses import replace
 
-    return replace(base, seed=seed)
+    if policy is None:
+        return replace(base, seed=seed)
+    return replace(base, seed=seed, policy=policy)
 
 
-def _run_one(experiment_id: str, config: EvalConfig) -> tuple[object, str]:
+def _parse_policies(text: Optional[str]) -> Optional[tuple[str, ...]]:
+    """Parse ``--policies`` ("none,fairness,..."); None = all registered."""
+    if text is None:
+        return None
+    names = tuple(part.strip() for part in text.split(",") if part.strip())
+    if not names:
+        raise ConfigurationError("--policies needs at least one policy name")
+    from repro.core.policies import get_policy
+
+    for name in names:
+        get_policy(name)  # raises for unknown names
+    return names
+
+
+def _run_one(
+    experiment_id: str,
+    config: EvalConfig,
+    policies: Optional[tuple[str, ...]] = None,
+) -> tuple[object, str]:
     """Run one registered experiment; every run() accepts ``config=``."""
     experiment = get_experiment(experiment_id)
-    result = experiment.run(config=config)
+    if policies is not None:
+        if experiment_id != "frontier":
+            raise ConfigurationError(
+                "--policies only applies to the frontier experiment; "
+                "use --policy NAME to run other experiments under a "
+                "single policy"
+            )
+        result = experiment.run(config=config, policies=policies)
+    else:
+        result = experiment.run(config=config)
     return result, experiment.render(result)
 
 
@@ -330,10 +378,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"{experiment_id:12s} {experiment.paper_reference:15s} "
                   f"{experiment.title}")
         return 0
+    if args.experiment == "policies":
+        from repro.core.policies import render_policy_table
+
+        text = render_policy_table()
+        print(text)
+        if args.output:
+            _write_text(args.output, text + "\n")
+        return 0
     if args.experiment == "trace-summary":
         return _trace_summary(args)
 
-    config = _config_for(args.scale, args.seed)
+    config = _config_for(args.scale, args.seed, args.policy)
+    policies = _parse_policies(args.policies)
+    if policies is not None and args.experiment != "frontier":
+        raise ConfigurationError(
+            "--policies only applies to the frontier experiment"
+        )
     settings = _execution_settings(args)
     plan = faults.parse_fault_plan(args.inject_faults)
     reset_degraded()
@@ -366,7 +427,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     "experiments": results,
                 }
             else:
-                result, text = _run_one(args.experiment, config)
+                result, text = _run_one(args.experiment, config, policies)
                 json_payload = result
     except GridExecutionError as error:
         # Completed work was cached/journaled before the raise; report

@@ -18,6 +18,11 @@ policy
     The engine-agnostic :class:`SwitchPolicy` interface plus baselines.
 controller
     :class:`FairnessController`, the full feedback mechanism.
+policies
+    The policy zoo: registry of named, parameterized switch policies.
+icount / lfoc / drr
+    Comparison policies (ICOUNT priority, LFOC clustering, DRR
+    arbitration) evaluated against the paper's mechanism.
 """
 
 from repro.core.controller import FairnessController, FairnessParams, SamplePoint
@@ -32,20 +37,38 @@ from repro.core.fairness import (
     speedups,
     weighted_speedup,
 )
+from repro.core.drr import DrrArbiterPolicy
+from repro.core.icount import IcountPolicy
 from repro.core.latency import MissLatencyMonitor
+from repro.core.lfoc import LfocClusterPolicy
 from repro.core.model import SoeModel, ThreadParams, compute_ipsw, single_thread_ipc
+from repro.core.policies import (
+    PolicyConfig,
+    PolicyParam,
+    PolicySpec,
+    get_policy,
+    policy_names,
+    register_policy,
+    render_policy_table,
+)
 from repro.core.policy import NoFairnessPolicy, SwitchPolicy, TimeSharingPolicy
 from repro.core.quota import quotas_from_estimates
 
 __all__ = [
     "CounterSample",
     "DeficitCounter",
+    "DrrArbiterPolicy",
     "FairnessController",
     "FairnessParams",
     "HardwareCounters",
+    "IcountPolicy",
     "IpcStEstimator",
+    "LfocClusterPolicy",
     "MissLatencyMonitor",
     "NoFairnessPolicy",
+    "PolicyConfig",
+    "PolicyParam",
+    "PolicySpec",
     "SamplePoint",
     "SoeModel",
     "SwitchPolicy",
@@ -55,8 +78,12 @@ __all__ = [
     "compute_ipsw",
     "fairness",
     "fairness_from_ipcs",
+    "get_policy",
     "harmonic_mean_fairness",
+    "policy_names",
     "quotas_from_estimates",
+    "register_policy",
+    "render_policy_table",
     "single_thread_ipc",
     "speedups",
     "weighted_fairness",

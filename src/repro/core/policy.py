@@ -11,7 +11,11 @@ surface is captured here as :class:`SwitchPolicy`, implemented by:
 * :class:`TimeSharingPolicy` -- the Section 6 strawman: a fixed cycle
   quota per dispatch, OS-style time slicing;
 * :class:`~repro.core.controller.FairnessController` -- the paper's
-  mechanism (counters + Eq. 9 quotas + deficit counting).
+  mechanism (counters + Eq. 9 quotas + deficit counting);
+* the comparison policies of the policy zoo
+  (:mod:`repro.core.policies`): ICOUNT-style dispatch priority,
+  LFOC-style cluster enforcement, and a NoC-style deficit-round-robin
+  arbiter.
 
 Both the segment-level engine (:mod:`repro.engine`) and the detailed
 out-of-order core (:mod:`repro.cpu`) drive their policies through this
@@ -23,7 +27,7 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.errors import ConfigurationError
 
@@ -70,6 +74,18 @@ class SwitchPolicy(abc.ABC):
 
     def on_boundary(self, now: float) -> None:
         """Called when simulation time reaches :meth:`next_boundary`."""
+
+    def select_thread(self, ready: Sequence[int], now: float) -> Optional[int]:
+        """Pick the next thread to dispatch from ``ready`` (non-empty,
+        ascending thread ids).
+
+        Return a member of ``ready`` to override the substrate's default
+        least-recently-dispatched round robin, or ``None`` to defer to
+        it. Substrates only consult this hook when a policy overrides
+        it, so the default round-robin path stays bit-identical for
+        policies that do not care about dispatch order.
+        """
+        return None
 
 
 class NoFairnessPolicy(SwitchPolicy):

@@ -172,6 +172,13 @@ class OooPipeline:
             raise ConfigurationError("at least one program is required")
         self.config = config
         self.policy = policy if policy is not None else NoFairnessPolicy()
+        # Selection hook: consulted only when the policy overrides it,
+        # so the default round-robin dispatch stays untouched otherwise.
+        self._policy_select = (
+            self.policy.select_thread
+            if type(self.policy).select_thread is not SwitchPolicy.select_thread
+            else None
+        )
         self.hierarchy = MemoryHierarchy(config)
         self.predictor = BranchPredictor(
             config.predictor_history_bits,
@@ -245,8 +252,12 @@ class OooPipeline:
     # ------------------------------------------------------------------
     def _pick_ready(self) -> Optional[_ThreadContext]:
         """Oldest-dispatch ready thread; refreshes the cached minimum
-        ``ready_at`` over pending threads in the same single pass."""
+        ``ready_at`` over pending threads in the same single pass. A
+        policy overriding ``select_thread`` replaces the round-robin
+        choice (but not the bookkeeping)."""
         now = self.now
+        select = self._policy_select
+        ready: Optional[list[int]] = [] if select is not None else None
         best: Optional[_ThreadContext] = None
         best_seq = 0
         pending_min: Optional[int] = None
@@ -255,6 +266,8 @@ class OooPipeline:
                 continue
             r = t.ready_at
             if r <= now:
+                if ready is not None:
+                    ready.append(t.thread_id)
                 s = t.last_dispatch_seq
                 if best is None or s < best_seq:
                     best = t
@@ -262,6 +275,15 @@ class OooPipeline:
             elif pending_min is None or r < pending_min:
                 pending_min = r
         self._pending_ready_min = pending_min
+        if select is not None and ready:
+            choice = select(tuple(ready), float(now))
+            if choice is not None:
+                if choice not in ready:
+                    raise SimulationError(
+                        f"policy selected thread {choice!r} at cycle {now}, "
+                        f"but the ready set is {tuple(ready)}"
+                    )
+                return self.threads[choice]
         return best
 
     def _dispatch(self, thread: _ThreadContext) -> None:

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Protocol, Sequence, runtime_checkable
 
 from repro.core.controller import FairnessController, FairnessParams
+from repro.core.policies import PolicyConfig
 from repro.core.policy import SwitchPolicy
 from repro.engine.results import SoeRunResult
 from repro.engine.segments import SegmentStream
@@ -55,20 +56,34 @@ class SoeRunSpec:
     """Everything one SOE run needs, as pure data.
 
     ``fairness`` is the run's :class:`FairnessParams`, or None for the
-    unenforced baseline (miss-only switching). Specs carry parameters
-    rather than live policy objects so a backend can either instantiate
-    a scalar :class:`FairnessController` per run or fold the whole
-    batch's controllers into arrays.
+    unenforced baseline (miss-only switching). ``policy`` selects a
+    registered policy-zoo policy instead
+    (:class:`~repro.core.policies.PolicyConfig`); it is normalized on
+    construction, so batch-capable selections (``none``, ``fairness``)
+    collapse into the ``fairness`` field and ``policy`` only ever
+    carries scalar-only policies. Specs carry parameters rather than
+    live policy objects so a backend can either instantiate a scalar
+    policy per run or fold the whole batch's controllers into arrays.
     """
 
     streams: tuple[SegmentStream, ...]
     fairness: Optional[FairnessParams] = None
     params: SoeParams = field(default_factory=SoeParams)
     limits: RunLimits = field(default_factory=RunLimits)
+    policy: Optional[PolicyConfig] = None
 
     def __post_init__(self) -> None:
         if len(self.streams) < 2:
             raise ConfigurationError("an SOE run spec needs at least two threads")
+        if self.policy is not None:
+            if self.fairness is not None:
+                raise ConfigurationError(
+                    "a run spec takes either fairness params or a policy "
+                    "config, not both"
+                )
+            fairness, residual = self.policy.normalize()
+            object.__setattr__(self, "fairness", fairness)
+            object.__setattr__(self, "policy", residual)
 
     @property
     def num_threads(self) -> int:
@@ -76,6 +91,8 @@ class SoeRunSpec:
 
     def make_policy(self) -> Optional[SwitchPolicy]:
         """A fresh scalar policy for this spec (None = baseline)."""
+        if self.policy is not None:
+            return self.policy.make(self.num_threads)
         if self.fairness is None:
             return None
         return FairnessController(self.num_threads, self.fairness)

@@ -99,6 +99,11 @@ class BatchBackend:
     def supports(self, spec: SoeRunSpec) -> bool:
         if not HAVE_NUMPY:
             return False
+        if spec.policy is not None:
+            # Spec normalization folds batch-capable policy selections
+            # into ``fairness``; anything left here is scalar-only by
+            # its registry capability flag.
+            return False
         fairness = spec.fairness
         if fairness is None:
             return True
@@ -117,7 +122,8 @@ class BatchBackend:
                 raise ConfigurationError(
                     f"spec {index} is outside the batch backend's supported "
                     "configuration envelope (smoothing, deficit_cap, "
-                    "weights, and measure_miss_latency must be defaults); "
+                    "weights, and measure_miss_latency must be defaults, "
+                    "and scalar-only policies are not vectorized); "
                     "run it on the scalar backend"
                 )
         if not specs:

@@ -143,6 +143,14 @@ class SoeEngine:
         self._policy_instruction_budget = policy.instruction_budget
         self._policy_cycle_budget = policy.cycle_budget
         self._policy_on_retired = policy.on_retired
+        # Selection hook: consulted only when the policy overrides it,
+        # so the default round-robin path below stays byte-identical for
+        # policies that do not reorder dispatch.
+        self._policy_select = (
+            policy.select_thread
+            if type(policy).select_thread is not SwitchPolicy.select_thread
+            else None
+        )
         self._recorder_next_boundary = (
             recorder.next_boundary if recorder is not None else None
         )
@@ -240,8 +248,26 @@ class SoeEngine:
     # Scheduling
     # ------------------------------------------------------------------
     def _pick_ready(self) -> Optional[EngineThread]:
-        """Least-recently-dispatched ready thread (round-robin order)."""
+        """Least-recently-dispatched ready thread (round-robin order),
+        unless the policy overrides dispatch via ``select_thread``."""
         threshold = self.now + _EPS
+        select = self._policy_select
+        if select is not None:
+            ready = tuple(
+                t.thread_id
+                for t in self.threads
+                if not t.done and t.ready_at <= threshold
+            )
+            if not ready:
+                return None
+            choice = select(ready, self.now)
+            if choice is not None:
+                if choice not in ready:
+                    raise SimulationError(
+                        f"policy selected thread {choice!r} at t={self.now:.1f}, "
+                        f"but the ready set is {ready}"
+                    )
+                return self.threads[choice]
         best: Optional[EngineThread] = None
         best_seq = 0
         for t in self.threads:

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Optional, Sequence
 
 from repro.core.controller import FairnessParams
+from repro.core.policies import PolicyConfig, get_policy
 from repro.engine.results import SoeRunResult
 from repro.engine.soe import RunLimits, SoeParams
 from repro.errors import ConfigurationError
@@ -51,6 +52,14 @@ class EvalConfig:
     st_min_instructions: float = 1_000_000.0
     fairness_levels: tuple[float, ...] = PAPER_FAIRNESS_LEVELS
     seed: int = 0
+    #: Which registered switch policy enforces the non-zero fairness
+    #: levels (:mod:`repro.core.policies`). The default is the paper's
+    #: mechanism; level 0 is always the unenforced baseline regardless
+    #: of the policy.
+    policy: str = "fairness"
+    #: Overrides for the policy's parameter schema, as sorted
+    #: ``(name, value)`` pairs.
+    policy_params: tuple[tuple[str, float], ...] = ()
 
     def __post_init__(self) -> None:
         if not self.fairness_levels:
@@ -59,6 +68,15 @@ class EvalConfig:
             raise ConfigurationError(
                 "fairness level 0 (the baseline) must be included"
             )
+        get_policy(self.policy)  # raises for unknown policy names
+        # Canonical parameter order keeps equal configs equal, which is
+        # what cache keys and checkpoint fingerprints hash.
+        object.__setattr__(
+            self, "policy_params", tuple(sorted(self.policy_params))
+        )
+        # Validate parameter names eagerly so a bad config fails at
+        # construction, not inside a worker process.
+        self.policy_config(1.0)
 
     @classmethod
     def paper_scale(cls) -> "EvalConfig":
@@ -95,6 +113,29 @@ class EvalConfig:
             miss_lat=self.miss_lat,
             sample_period=self.sample_period,
         )
+
+    def policy_config(self, level: float) -> PolicyConfig:
+        """The :class:`PolicyConfig` enforcing one fairness level."""
+        return PolicyConfig(
+            name=self.policy,
+            level=level,
+            miss_lat=self.miss_lat,
+            sample_period=self.sample_period,
+            params=self.policy_params,
+        )
+
+    def policy_for_level(
+        self, level: float
+    ) -> tuple[Optional[FairnessParams], Optional[PolicyConfig]]:
+        """Normalized ``(fairness, policy)`` run-spec fields for a level.
+
+        Level 0 is always the unenforced baseline. For the default
+        ``fairness`` policy this reduces to :meth:`fairness_params`, so
+        existing grids stay bit-identical.
+        """
+        if level <= 0.0:
+            return None, None
+        return self.policy_config(level).normalize()
 
 
 @dataclass(frozen=True)

@@ -37,6 +37,7 @@ def _registry() -> dict[str, Experiment]:
         fig6,
         fig7,
         fig8,
+        frontier,
         sensitivity,
         stability,
         table2,
@@ -144,6 +145,13 @@ def _registry() -> dict[str, Experiment]:
             "methodology check",
             stability.run,
             stability.render,
+        ),
+        Experiment(
+            "frontier",
+            "Cross-policy fairness/throughput frontier (policy zoo)",
+            "ROADMAP scenario diversity (extension)",
+            frontier.run,
+            frontier.render,
         ),
     ]
     return {e.id: e for e in experiments}

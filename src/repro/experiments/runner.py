@@ -109,8 +109,12 @@ _TMP_GRACE_SECONDS = 3600.0
 #: excluded -- they cannot change a PairResult).
 _CODE_VERSION_MODULES = (
     "repro.core.controller",
+    "repro.core.drr",
     "repro.core.fairness",
+    "repro.core.icount",
+    "repro.core.lfoc",
     "repro.core.model",
+    "repro.core.policies",
     "repro.core.policy",
     "repro.engine.backend",
     "repro.engine.batch",
@@ -242,6 +246,18 @@ def _task_descriptor(item: object) -> tuple[str, str]:
     return "task", type(item).__name__
 
 
+def _task_policy(item: object) -> Optional[str]:
+    """The registered policy name enforcing a task's run, if any.
+
+    Single-thread baselines have no policy dimension (None); an SOE run
+    at level 0 is the unenforced baseline whatever the configured
+    policy, so it reports ``"none"``.
+    """
+    if isinstance(item, _SoeTask):
+        return item.config.policy if item.level > 0.0 else "none"
+    return None
+
+
 @dataclass(frozen=True)
 class _TaskOutcome:
     """A task's result plus the executing process's profile snapshot."""
@@ -266,15 +282,18 @@ class _TracedCall:
     def __call__(self, item: object) -> _TaskOutcome:
         sink = current_sink()
         kind, label = _task_descriptor(item)
+        policy = _task_policy(item)
         worker = os.getpid()
         if sink.wants(_TRACE_RUNNER):
-            sink.emit(task_event("start", kind, label, worker))
+            sink.emit(task_event("start", kind, label, worker, policy=policy))
         start = time.perf_counter()
         result = self.func(item)
         wall = time.perf_counter() - start
         PROFILE.record_task(wall)
         if sink.wants(_TRACE_RUNNER):
-            sink.emit(task_event("stop", kind, label, worker, wall_s=wall))
+            sink.emit(
+                task_event("stop", kind, label, worker, wall_s=wall, policy=policy)
+            )
         return _TaskOutcome(result=result, profile=PROFILE.snapshot())
 
 
@@ -429,13 +448,13 @@ def _run_st_task(task: _StTask) -> float:
 def _soe_run_spec(task: _SoeTask) -> SoeRunSpec:
     """The task's run as pure data, ready for any engine backend."""
     config = task.config
+    fairness, policy = config.policy_for_level(task.level)
     return SoeRunSpec(
         streams=task.pair.streams(seed=config.seed),
-        fairness=(
-            config.fairness_params(task.level) if task.level > 0.0 else None
-        ),
+        fairness=fairness,
         params=config.soe_params(),
         limits=config.run_limits(),
+        policy=policy,
     )
 
 

@@ -14,20 +14,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-from repro.core.controller import FairnessController, FairnessParams
+from repro.core.controller import FairnessController
 from repro.core.policy import TimeSharingPolicy
 from repro.engine.singlethread import run_single_thread
 from repro.engine.segments import SegmentStream
-from repro.engine.soe import RunLimits, SoeParams, run_soe
+from repro.engine.soe import RunLimits, run_soe
 from repro.experiments.common import EvalConfig, format_table
 from repro.workloads.synthetic import uniform_stream
 
 __all__ = ["TimeSharingPoint", "TimeSharingResult", "run", "render"]
 
+# Example 2's workload, straight from the paper (table2.py uses the
+# same constants). Machine parameters come from the EvalConfig.
 IPC_NO_MISS = 2.5
 IPM = (15_000.0, 1_000.0)
-MISS_LAT = 300.0
-SWITCH_LAT = 25.0
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,11 @@ def run(
     min_instructions: Optional[float] = None,
     config: Optional[EvalConfig] = None,
 ) -> TimeSharingResult:
+    # The machine parameters (miss/switch latency, quota cap, sample
+    # period) always come from the config; the EvalConfig defaults are
+    # the paper's Table 3 values, so the legacy no-config path is
+    # unchanged.
+    machine = config if config is not None else EvalConfig()
     if min_instructions is None:
         min_instructions = (
             config.min_instructions if config is not None else 1_000_000.0
@@ -75,9 +80,11 @@ def run(
         config.warmup_instructions if config is not None else 500_000.0
     )
     seed_base = 2 * config.seed if config is not None else 0
-    params = SoeParams(miss_lat=MISS_LAT, switch_lat=SWITCH_LAT)
+    params = machine.soe_params()
     ipc_st = [
-        run_single_thread(s, MISS_LAT, min_instructions=min_instructions).ipc
+        run_single_thread(
+            s, machine.miss_lat, min_instructions=min_instructions
+        ).ipc
         for s in _streams(seed_base)
     ]
     points = []
@@ -98,9 +105,7 @@ def run(
                 time_share=tuple(c / total_run for c in run_cycles),
             )
         )
-    controller = FairnessController(
-        2, FairnessParams(fairness_target=1.0, miss_lat=MISS_LAT)
-    )
+    controller = FairnessController(2, machine.fairness_params(1.0))
     enforced = run_soe(
         _streams(seed_base),
         controller,

@@ -53,7 +53,8 @@ __all__ = [
 ]
 
 #: Bump when an event's envelope or payload layout changes.
-SCHEMA_VERSION = 1
+#: v2: ``task`` events carry the switch policy enforcing the run.
+SCHEMA_VERSION = 2
 
 CONTROLLER = "controller"
 SWITCH = "switch"
@@ -191,11 +192,14 @@ def task_event(
     label: str,
     worker: int,
     wall_s: Optional[float] = None,
+    policy: Optional[str] = None,
 ) -> dict:
     """One experiment-grid task starting or stopping on a worker.
 
     ``worker`` is the executing process id; ``wall_s`` is the task's
-    wall-clock duration (stop events only).
+    wall-clock duration (stop events only). ``policy`` names the
+    registered switch policy enforcing the run (None for tasks with no
+    policy dimension, e.g. single-thread baselines).
     """
     return {
         "event": "task",
@@ -206,6 +210,7 @@ def task_event(
         "label": label,
         "worker": worker,
         "wall_s": None if wall_s is None else _num(wall_s),
+        "policy": policy,
     }
 
 
@@ -329,6 +334,10 @@ def _string(value: object) -> bool:
     return isinstance(value, str)
 
 
+def _optional_string(value: object) -> bool:
+    return value is None or isinstance(value, str)
+
+
 def _enum(*allowed: str) -> Callable[[object], bool]:
     def check(value: object) -> bool:
         return value in allowed
@@ -383,6 +392,7 @@ EVENT_SCHEMAS: Mapping[str, tuple] = {
             "label": _string,
             "worker": _is_int,
             "wall_s": _optional_number,
+            "policy": _optional_string,
         },
     ),
     "task_retry": (

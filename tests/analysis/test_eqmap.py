@@ -26,6 +26,23 @@ class TestPaperRegistry:
     def test_no_equations(self):
         assert parse_paper_equations("no math here") == []
 
+    def test_external_citations_are_not_references(self):
+        # "Eq. N of/in <Capitalized source>" cites another paper's
+        # numbering, so it is invisible to the registry and to RL005.
+        text = (
+            "the quantum of Eq. 2 in Shreedhar & Varghese (1995); "
+            "compare Eq. 4 of 'Tullsen et al.' and Eq. 5 in (Gabor)."
+        )
+        assert parse_paper_equations(text) == []
+
+    def test_lowercase_prose_after_of_or_in_still_counts(self):
+        # Plain prose is not a citation: these reference *this* paper.
+        text = "Eq. 1 in the limit; Eq. 3 of course holds; Eq. 2 into x."
+        assert parse_paper_equations(text) == [1, 2, 3]
+
+    def test_external_range_citation_is_fully_skipped(self):
+        assert parse_paper_equations("see Eqs. 7-9 of Smith (2001)") == []
+
 
 class TestDocstringScan:
     def test_claim_vs_mention(self):

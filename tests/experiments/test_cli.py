@@ -208,3 +208,69 @@ class TestRunnerFlags:
         assert main(["fake-nocache", "--cache-dir", "/tmp/x",
                      "--no-cache"]) == 0
         assert seen["settings"].cache_dir is None
+
+
+class TestPolicyCli:
+    BUILTINS = ("none", "fairness", "rr-timeshare", "icount",
+                "lfoc-cluster", "drr-arbiter")
+
+    def test_policies_command_lists_the_zoo(self, capsys):
+        assert main(["policies"]) == 0
+        out = capsys.readouterr().out
+        for name in self.BUILTINS:
+            assert name in out
+
+    def test_policies_command_writes_output_file(self, tmp_path, capsys):
+        target = tmp_path / "sub" / "policies.txt"
+        assert main(["policies", "--output", str(target)]) == 0
+        assert "drr-arbiter" in target.read_text()
+
+    def test_policy_flag_reaches_the_config(self, monkeypatch, capsys):
+        from repro.experiments import registry
+        from repro.experiments.registry import Experiment
+
+        received = {}
+
+        def run(config=None):
+            received["config"] = config
+            return ()
+
+        fake = Experiment("fake-policy", "probe", "none",
+                          run, lambda result: "rendered")
+        monkeypatch.setitem(registry._experiments(), "fake-policy", fake)
+        assert main(["fake-policy", "--policy", "drr-arbiter"]) == 0
+        assert received["config"].policy == "drr-arbiter"
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown policy"):
+            main(["fig3", "--policy", "nope"])
+
+    def test_policies_flag_only_valid_for_frontier(self):
+        with pytest.raises(ConfigurationError, match="frontier"):
+            main(["fig3", "--policies", "none,fairness"])
+
+    def test_frontier_honors_the_policies_flag(self, monkeypatch, capsys):
+        from repro.experiments import frontier, registry
+
+        received = {}
+        original = frontier.run
+
+        def spy(config=None, pairs=None, policies=None):
+            received["policies"] = policies
+            from repro.workloads.pairs import evaluation_pairs
+
+            return original(config, pairs=evaluation_pairs()[:1],
+                            policies=policies)
+
+        experiment = registry._experiments()["frontier"]
+        monkeypatch.setitem(
+            registry._experiments(), "frontier",
+            registry.Experiment("frontier", experiment.title,
+                                experiment.paper_reference, spy,
+                                experiment.render),
+        )
+        assert main(["frontier", "--scale", "quick",
+                     "--policies", "none,drr-arbiter"]) == 0
+        assert received["policies"] == ("none", "drr-arbiter")
+        out = capsys.readouterr().out
+        assert "drr-arbiter" in out

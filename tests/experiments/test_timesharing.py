@@ -1,8 +1,11 @@
 """Tests for the Section 6 time-sharing comparison."""
 
+import dataclasses
+
 import pytest
 
 from repro.experiments import timesharing
+from repro.experiments.common import EvalConfig
 
 
 @pytest.fixture(scope="module")
@@ -44,3 +47,50 @@ class TestTimeSharing:
         text = timesharing.render(result)
         assert "time sharing" in text.lower()
         assert "enforced" in text
+
+
+class TestConfigPlumbing:
+    """The machine parameters must come from the EvalConfig, not
+    hard-coded module constants (the workload's IPC_NO_MISS/IPM stay
+    Example-2 constants on purpose)."""
+
+    QUOTAS = (400.0,)
+
+    def test_no_config_path_equals_default_machine_parameters(self):
+        # EvalConfig's defaults are the paper's Table 3 values, so the
+        # legacy no-config path and an explicit default config must
+        # produce bit-identical sweep points.
+        legacy = timesharing.run(quotas=self.QUOTAS, min_instructions=600_000)
+        explicit = timesharing.run(
+            quotas=self.QUOTAS,
+            min_instructions=600_000,
+            config=EvalConfig(),
+        )
+        assert legacy.points == explicit.points
+
+    def test_switch_lat_reaches_the_simulation(self):
+        quick = EvalConfig.quick()
+        base = timesharing.run(quotas=self.QUOTAS, config=quick)
+        slow = timesharing.run(
+            quotas=self.QUOTAS,
+            config=dataclasses.replace(quick, switch_lat=100.0),
+        )
+        assert slow.points[0].total_ipc < base.points[0].total_ipc
+
+    def test_sample_period_reaches_the_enforced_run(self):
+        quick = EvalConfig.quick()
+        base = timesharing.run(quotas=self.QUOTAS, config=quick)
+        fine = timesharing.run(
+            quotas=self.QUOTAS,
+            config=dataclasses.replace(quick, sample_period=40_000.0),
+        )
+        assert fine.enforced_ipc != base.enforced_ipc
+
+    def test_miss_lat_reaches_the_enforced_run(self):
+        quick = EvalConfig.quick()
+        base = timesharing.run(quotas=self.QUOTAS, config=quick)
+        fast = timesharing.run(
+            quotas=self.QUOTAS,
+            config=dataclasses.replace(quick, miss_lat=100.0),
+        )
+        assert fast.enforced_ipc != base.enforced_ipc

@@ -85,6 +85,23 @@ class TestBuilders:
         )}
         assert built == set(EVENT_SCHEMAS)
 
+    def test_task_event_policy_field(self):
+        # Schema v2: task events carry the enforcing policy name (a
+        # string for soe_pair tasks, None for single-thread tasks).
+        named = task_event("start", "soe_pair", "gcc:eon@F1", worker=1,
+                           policy="drr-arbiter")
+        assert validate_event(named)["policy"] == "drr-arbiter"
+        bare = task_event("start", "single_thread", "gcc", worker=1)
+        assert validate_event(bare)["policy"] is None
+        with pytest.raises(ConfigurationError, match="policy"):
+            bad = task_event("start", "soe_pair", "l", worker=1)
+            bad["policy"] = 42
+            validate_event(bad)
+
+    def test_schema_version_is_two(self):
+        assert SCHEMA_VERSION == 2
+        assert task_event("start", "k", "l", 1)["v"] == 2
+
     def test_nonfinite_floats_encode_as_strings(self):
         event = _sample()
         assert event["quotas"] == [400.0, "inf"]

@@ -61,6 +61,10 @@ class TestTracedGridBitIdentity:
         st_stops = [e for e in task_stops if e["kind"] == "single_thread"]
         assert len(soe_stops) == len(PAIRS) * len(config.fairness_levels)
         assert len(st_stops) == 2 * len(PAIRS)  # one per thread slot
+        # Schema v2: SOE tasks name their enforcing policy ("none" at
+        # the F=0 baseline); single-thread tasks carry None.
+        assert {e["policy"] for e in soe_stops} == {"none", config.policy}
+        assert {e["policy"] for e in st_stops} == {None}
 
     def test_traced_cached_rerun_matches(self, config, untraced_grid,
                                          tmp_path):
