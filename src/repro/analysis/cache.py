@@ -1,0 +1,256 @@
+"""Content-hash analysis cache: skip parsing + per-file rules on warm runs.
+
+One JSON index per ``--cache-dir`` maps each file's repo-relative path
+to its cached analysis, keyed by the sha256 of the file *content* (not
+mtime -- the cache is correct across checkouts, copies, and CI
+restores). A record stores everything the per-file phase produces:
+
+* the raw findings of **every** per-file rule (pre-suppression,
+  pre-baseline), so one cache serves any ``--select``/``--disable``
+  combination and suppression edits invalidate naturally with the file;
+* the parsed suppression pragmas;
+* the file's equation claims/mentions (:mod:`repro.analysis.eqmap`);
+* the whole-program :class:`~repro.analysis.callgraph.ModuleSummary`.
+
+Cross-file passes (call-graph build, taint propagation, the finalize
+rules) are cheap relative to parsing + per-file rule sweeps; they
+recompute every run from the cached summaries. The index additionally
+records a digest over the analysis package's own sources, so editing
+any rule, the engine, or this module invalidates the whole cache --
+the cache can never serve results from an older analyzer.
+
+Corrupt or version-mismatched caches are treated as empty, never as an
+error: the cache is an accelerator, not a source of truth.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.callgraph import ModuleSummary
+from repro.analysis.eqmap import EqClaim, EqMention
+from repro.analysis.findings import Finding, Severity
+from repro.analysis.suppressions import Suppressions
+
+__all__ = [
+    "CACHE_FORMAT",
+    "FileRecord",
+    "AnalysisCache",
+    "analyzer_digest",
+    "content_hash",
+]
+
+#: Bump when the record layout changes (belt-and-braces alongside the
+#: analyzer digest, which already invalidates on any analyzer edit).
+CACHE_FORMAT = 1
+
+_INDEX_NAME = "repro-lint-cache.json"
+
+_digest_memo: Dict[str, str] = {}
+
+
+def analyzer_digest() -> str:
+    """sha256 over the analysis package's own sources.
+
+    Any edit to a rule, the engine, or the cache machinery changes the
+    digest and invalidates every cache built by the older analyzer.
+    """
+    if "digest" not in _digest_memo:
+        package_dir = Path(__file__).resolve().parent
+        hasher = hashlib.sha256()
+        for path in sorted(package_dir.rglob("*.py")):
+            hasher.update(path.relative_to(package_dir).as_posix().encode())
+            hasher.update(b"\0")
+            hasher.update(path.read_bytes())
+            hasher.update(b"\0")
+        _digest_memo["digest"] = hasher.hexdigest()
+    return _digest_memo["digest"]
+
+
+def content_hash(source: str) -> str:
+    return hashlib.sha256(source.encode()).hexdigest()
+
+
+def _finding_to_json(finding: Finding) -> dict:
+    return {
+        "path": finding.path,
+        "line": finding.line,
+        "col": finding.col,
+        "rule": finding.rule,
+        "message": finding.message,
+        "severity": str(finding.severity),
+    }
+
+
+def _finding_from_json(data: dict) -> Finding:
+    return Finding(
+        path=str(data["path"]),
+        line=int(data["line"]),
+        col=int(data["col"]),
+        rule=str(data["rule"]),
+        message=str(data["message"]),
+        severity=Severity(data["severity"]),
+    )
+
+
+def _suppressions_to_json(suppressions: Suppressions) -> dict:
+    return {
+        "by_line": {
+            str(line): sorted(rules)
+            for line, rules in sorted(suppressions.by_line.items())
+        },
+        "file_level": sorted(suppressions.file_level),
+    }
+
+
+def _suppressions_from_json(data: dict) -> Suppressions:
+    return Suppressions(
+        by_line={
+            int(line): set(rules) for line, rules in data["by_line"].items()
+        },
+        file_level=set(data["file_level"]),
+    )
+
+
+@dataclass
+class FileRecord:
+    """Everything the per-file analysis phase produced for one file."""
+
+    content_hash: str
+    #: Raw findings of every per-file rule (pre-suppression/baseline).
+    findings: List[Finding] = field(default_factory=list)
+    suppressions: Suppressions = field(default_factory=Suppressions)
+    claims: List[EqClaim] = field(default_factory=list)
+    mentions: List[EqMention] = field(default_factory=list)
+    summary: Optional[ModuleSummary] = None
+
+    def to_json(self) -> dict:
+        return {
+            "hash": self.content_hash,
+            "findings": [_finding_to_json(f) for f in self.findings],
+            "suppressions": _suppressions_to_json(self.suppressions),
+            "claims": [
+                {
+                    "number": c.number,
+                    "qualname": c.qualname,
+                    "relpath": c.relpath,
+                    "line": c.line,
+                }
+                for c in self.claims
+            ],
+            "mentions": [
+                {"number": m.number, "relpath": m.relpath, "line": m.line}
+                for m in self.mentions
+            ],
+            "summary": None if self.summary is None else self.summary.to_json(),
+        }
+
+    @classmethod
+    def from_json(cls, data: dict) -> "FileRecord":
+        return cls(
+            content_hash=str(data["hash"]),
+            findings=[_finding_from_json(f) for f in data["findings"]],
+            suppressions=_suppressions_from_json(data["suppressions"]),
+            claims=[
+                EqClaim(
+                    number=int(c["number"]),
+                    qualname=str(c["qualname"]),
+                    relpath=str(c["relpath"]),
+                    line=int(c["line"]),
+                )
+                for c in data["claims"]
+            ],
+            mentions=[
+                EqMention(
+                    number=int(m["number"]),
+                    relpath=str(m["relpath"]),
+                    line=int(m["line"]),
+                )
+                for m in data["mentions"]
+            ],
+            summary=(
+                None
+                if data["summary"] is None
+                else ModuleSummary.from_json(data["summary"])
+            ),
+        )
+
+
+@dataclass
+class AnalysisCache:
+    """The on-disk per-file cache under one ``--cache-dir``."""
+
+    directory: Path
+    records: Dict[str, FileRecord] = field(default_factory=dict)
+    hits: int = 0
+    misses: int = 0
+    _dirty: bool = field(default=False, repr=False)
+
+    @property
+    def index_path(self) -> Path:
+        return self.directory / _INDEX_NAME
+
+    @classmethod
+    def load(cls, directory: Path) -> "AnalysisCache":
+        """Load the index; mismatched or corrupt caches come back empty."""
+        cache = cls(directory=directory)
+        try:
+            data = json.loads(cache.index_path.read_text())
+        except (OSError, json.JSONDecodeError):
+            return cache
+        if (
+            not isinstance(data, dict)
+            or data.get("format") != CACHE_FORMAT
+            or data.get("analyzer") != analyzer_digest()
+        ):
+            return cache
+        try:
+            cache.records = {
+                str(relpath): FileRecord.from_json(record)
+                for relpath, record in data.get("files", {}).items()
+            }
+        except (KeyError, TypeError, ValueError, AttributeError):
+            cache.records = {}
+        return cache
+
+    def lookup(self, relpath: str, source_hash: str) -> Optional[FileRecord]:
+        """The cached record for an unchanged file, else None."""
+        record = self.records.get(relpath)
+        if record is not None and record.content_hash == source_hash:
+            self.hits += 1
+            return record
+        self.misses += 1
+        return None
+
+    def store(self, relpath: str, record: FileRecord) -> None:
+        self.records[relpath] = record
+        self._dirty = True
+
+    def prune(self, keep: Tuple[str, ...]) -> None:
+        """Drop records for files no longer in the lint target set."""
+        stale = set(self.records) - set(keep)
+        for relpath in stale:
+            del self.records[relpath]
+            self._dirty = True
+
+    def save(self) -> None:
+        """Write the index back (only when something changed)."""
+        if not self._dirty:
+            return
+        self.directory.mkdir(parents=True, exist_ok=True)
+        payload = {
+            "format": CACHE_FORMAT,
+            "analyzer": analyzer_digest(),
+            "files": {
+                relpath: record.to_json()
+                for relpath, record in sorted(self.records.items())
+            },
+        }
+        tmp = self.index_path.with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload, sort_keys=True))
+        tmp.replace(self.index_path)
+        self._dirty = False

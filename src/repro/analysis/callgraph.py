@@ -1,0 +1,792 @@
+"""Project-wide symbol table and call graph for whole-program rules.
+
+The per-file rules (RL001-RL008) see one AST at a time; the hazards
+introduced by fork-based supervision, the dual-backend engine, and the
+policy registry cross module boundaries. This module builds the global
+view they need in two steps:
+
+1. :func:`summarize_module` reduces one parsed file to a
+   :class:`ModuleSummary` -- every function (methods included, nested
+   defs folded into their enclosing function) with its outgoing call
+   and bare-callable-reference sites, its direct effects (see
+   :mod:`repro.analysis.dataflow`), its module-global mutations, plus
+   the module's imports, classes, and module-level globals. Summaries
+   are plain data and round-trip through JSON, which is what makes the
+   on-disk analysis cache (:mod:`repro.analysis.cache`) possible.
+2. :func:`build_graph` resolves the textual call sites of every summary
+   against the project symbol table into a :class:`CallGraph`: edges
+   between fully-qualified function names, with unresolved callees kept
+   for the ``--graph`` dump so the analysis is honest about its limits.
+
+Resolution is deliberately lightweight (LFOC-style global
+classification, not a points-to analysis): local names, ``import`` /
+``from-import`` aliases (re-exports chased a bounded number of hops),
+``self.``/``cls.`` methods (following base classes resolvable in the
+project), and classes (a constructed class links to its ``__init__``
+and, for callables, ``__call__``). Calls on arbitrary objects
+(``sink.emit(...)``) stay unresolved -- the analysis never guesses.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Set, Tuple
+
+from repro.analysis.registry import ModuleInfo
+
+__all__ = [
+    "CallSite",
+    "DirectEffect",
+    "GlobalMutation",
+    "FunctionNode",
+    "ClassNode",
+    "GlobalDef",
+    "ModuleSummary",
+    "CallGraph",
+    "module_dotted_name",
+    "summarize_module",
+    "build_graph",
+]
+
+#: Re-export chains (``from repro.engine import SoeRunSpec`` where the
+#: package ``__init__`` itself re-imports) are chased this many hops.
+_MAX_REEXPORT_HOPS = 5
+
+#: Base-class chains (``self.method`` resolved through inheritance) are
+#: chased this many levels.
+_MAX_BASE_DEPTH = 5
+
+
+def module_dotted_name(relpath: str) -> str:
+    """Dotted module name of a repo-relative path.
+
+    ``src/repro/engine/soe.py`` -> ``repro.engine.soe``;
+    ``src/repro/telemetry/__init__.py`` -> ``repro.telemetry``.
+    """
+    parts = relpath[:-3].split("/") if relpath.endswith(".py") else relpath.split("/")
+    if parts and parts[0] == "src":
+        parts = parts[1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One outgoing call (or bare callable reference) in a function."""
+
+    callee: str  #: dotted name as written, e.g. ``self.step`` / ``mod.f``
+    line: int
+    ref: bool = False  #: True = referenced as a value, not called
+
+    def to_json(self) -> dict:
+        return {"callee": self.callee, "line": self.line, "ref": self.ref}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "CallSite":
+        return cls(str(data["callee"]), int(data["line"]), bool(data["ref"]))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class DirectEffect:
+    """One direct (non-transitive) effect observed inside a function."""
+
+    kind: str  #: one of :data:`repro.analysis.dataflow.EFFECT_KINDS`
+    line: int
+    detail: str  #: human-readable witness, e.g. ``random.random()``
+
+    def to_json(self) -> dict:
+        return {"kind": self.kind, "line": self.line, "detail": self.detail}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "DirectEffect":
+        return cls(str(data["kind"]), int(data["line"]), str(data["detail"]))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class GlobalMutation:
+    """A mutation of a module-level name inside a function body."""
+
+    name: str  #: the module-global being mutated
+    line: int
+    how: str  #: e.g. ``global-assign`` / ``.append()`` / ``[]=``
+
+    def to_json(self) -> dict:
+        return {"name": self.name, "line": self.line, "how": self.how}
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "GlobalMutation":
+        return cls(str(data["name"]), int(data["line"]), str(data["how"]))  # type: ignore[arg-type]
+
+
+@dataclass(frozen=True)
+class FunctionNode:
+    """One function (or method) in the project symbol table."""
+
+    qualname: str  #: fully qualified, e.g. ``repro.engine.soe.SoeEngine.run``
+    relpath: str
+    name: str  #: simple name
+    lineno: int
+    cls: Optional[str]  #: enclosing class qual within the module, or None
+    calls: Tuple[CallSite, ...] = ()
+    effects: Tuple[DirectEffect, ...] = ()
+    mutations: Tuple[GlobalMutation, ...] = ()
+
+    def to_json(self) -> dict:
+        return {
+            "qualname": self.qualname,
+            "relpath": self.relpath,
+            "name": self.name,
+            "lineno": self.lineno,
+            "cls": self.cls,
+            "calls": [site.to_json() for site in self.calls],
+            "effects": [effect.to_json() for effect in self.effects],
+            "mutations": [mutation.to_json() for mutation in self.mutations],
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "FunctionNode":
+        return cls(
+            qualname=str(data["qualname"]),
+            relpath=str(data["relpath"]),
+            name=str(data["name"]),
+            lineno=int(data["lineno"]),  # type: ignore[arg-type]
+            cls=None if data["cls"] is None else str(data["cls"]),
+            calls=tuple(CallSite.from_json(item) for item in data["calls"]),  # type: ignore[union-attr]
+            effects=tuple(
+                DirectEffect.from_json(item) for item in data["effects"]  # type: ignore[union-attr]
+            ),
+            mutations=tuple(
+                GlobalMutation.from_json(item) for item in data["mutations"]  # type: ignore[union-attr]
+            ),
+        )
+
+
+@dataclass(frozen=True)
+class ClassNode:
+    """One class: its methods (simple names) and base-class spellings."""
+
+    qualname: str  #: fully qualified, e.g. ``repro.engine.soe.SoeEngine``
+    bases: Tuple[str, ...]
+    methods: Tuple[str, ...]
+
+    def to_json(self) -> dict:
+        return {
+            "qualname": self.qualname,
+            "bases": list(self.bases),
+            "methods": list(self.methods),
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "ClassNode":
+        return cls(
+            qualname=str(data["qualname"]),
+            bases=tuple(str(base) for base in data["bases"]),  # type: ignore[union-attr]
+            methods=tuple(str(m) for m in data["methods"]),  # type: ignore[union-attr]
+        )
+
+
+@dataclass(frozen=True)
+class GlobalDef:
+    """One module-level binding, with its fork-safety documentation."""
+
+    name: str
+    line: int
+    mutable: bool  #: heuristically holds mutable state
+    #: The defining line (or the comment line above it) carries a
+    #: ``fork-safe: <reason>`` marker documenting per-process
+    #: reinitialization (see rule RL010).
+    fork_safe: bool
+
+    def to_json(self) -> dict:
+        return {
+            "name": self.name,
+            "line": self.line,
+            "mutable": self.mutable,
+            "fork_safe": self.fork_safe,
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "GlobalDef":
+        return cls(
+            name=str(data["name"]),
+            line=int(data["line"]),  # type: ignore[arg-type]
+            mutable=bool(data["mutable"]),
+            fork_safe=bool(data["fork_safe"]),
+        )
+
+
+@dataclass
+class ModuleSummary:
+    """Everything whole-program analysis needs from one file."""
+
+    relpath: str
+    module: str  #: dotted module name
+    imports: Dict[str, str] = field(default_factory=dict)
+    #: local name -> (module, original name) for ``from m import n as x``
+    from_imports: Dict[str, Tuple[str, str]] = field(default_factory=dict)
+    #: qual-within-module -> node (e.g. ``SoeEngine.run``)
+    functions: Dict[str, FunctionNode] = field(default_factory=dict)
+    #: qual-within-module -> class node
+    classes: Dict[str, ClassNode] = field(default_factory=dict)
+    #: module-level bindings by name
+    globals: Dict[str, GlobalDef] = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "relpath": self.relpath,
+            "module": self.module,
+            "imports": dict(sorted(self.imports.items())),
+            "from_imports": {
+                name: list(target)
+                for name, target in sorted(self.from_imports.items())
+            },
+            "functions": {
+                qual: node.to_json()
+                for qual, node in sorted(self.functions.items())
+            },
+            "classes": {
+                qual: node.to_json()
+                for qual, node in sorted(self.classes.items())
+            },
+            "globals": {
+                name: node.to_json()
+                for name, node in sorted(self.globals.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, data: Mapping[str, object]) -> "ModuleSummary":
+        return cls(
+            relpath=str(data["relpath"]),
+            module=str(data["module"]),
+            imports={str(k): str(v) for k, v in data["imports"].items()},  # type: ignore[union-attr]
+            from_imports={
+                str(k): (str(v[0]), str(v[1]))  # type: ignore[index]
+                for k, v in data["from_imports"].items()  # type: ignore[union-attr]
+            },
+            functions={
+                str(k): FunctionNode.from_json(v)  # type: ignore[arg-type]
+                for k, v in data["functions"].items()  # type: ignore[union-attr]
+            },
+            classes={
+                str(k): ClassNode.from_json(v)  # type: ignore[arg-type]
+                for k, v in data["classes"].items()  # type: ignore[union-attr]
+            },
+            globals={
+                str(k): GlobalDef.from_json(v)  # type: ignore[arg-type]
+                for k, v in data["globals"].items()  # type: ignore[union-attr]
+            },
+        )
+
+
+# ---------------------------------------------------------------------------
+# Summarizing one module
+# ---------------------------------------------------------------------------
+
+#: Marker documenting that a mutable module-global is reinitialized per
+#: process (rule RL010); placed on the defining line or the line above.
+FORK_SAFE_MARKER = "fork-safe:"
+
+_MUTABLE_CONSTRUCTORS = {
+    "list",
+    "dict",
+    "set",
+    "deque",
+    "defaultdict",
+    "OrderedDict",
+    "Counter",
+    "bytearray",
+}
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    """Render ``a.b.c`` attribute/name chains; None for anything else."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _is_mutable_value(node: ast.expr, local_classes: Set[str]) -> bool:
+    """Whether a module-level binding heuristically holds mutable state."""
+    if isinstance(
+        node,
+        (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp),
+    ):
+        return True
+    if isinstance(node, ast.Call):
+        name = _dotted(node.func)
+        if name is None:
+            return False
+        simple = name.split(".")[-1]
+        return simple in _MUTABLE_CONSTRUCTORS or name in local_classes
+    return False
+
+
+def _has_fork_safe_marker(lines: List[str], lineno: int) -> bool:
+    """``fork-safe:`` on the defining line or the comment line above."""
+    for index in (lineno, lineno - 1):
+        if 1 <= index <= len(lines) and FORK_SAFE_MARKER in lines[index - 1]:
+            return True
+    return False
+
+
+class _FunctionScanner(ast.NodeVisitor):
+    """Collect the call/reference/mutation sites of one function body.
+
+    Nested function defs and lambdas are folded into the enclosing
+    function: their calls and effects belong to whoever defines them.
+    """
+
+    def __init__(self, module_globals: Set[str]) -> None:
+        self.calls: List[CallSite] = []
+        self.mutations: List[GlobalMutation] = []
+        self._module_globals = module_globals
+        self._declared_global: Set[str] = set()
+        self._called_nodes: Set[int] = set()
+
+    _MUTATING_METHODS = {
+        "append",
+        "extend",
+        "insert",
+        "add",
+        "update",
+        "clear",
+        "pop",
+        "popleft",
+        "popitem",
+        "remove",
+        "discard",
+        "setdefault",
+        "appendleft",
+        "sort",
+        "reverse",
+    }
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self._declared_global.update(node.names)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        callee = _dotted(node.func)
+        if callee is not None:
+            self._called_nodes.add(id(node.func))
+            self.calls.append(CallSite(callee, node.lineno, ref=False))
+            root, _, method = callee.rpartition(".")
+            if (
+                root in self._module_globals
+                and method in self._MUTATING_METHODS
+            ):
+                self.mutations.append(
+                    GlobalMutation(root, node.lineno, f".{method}()")
+                )
+        self.generic_visit(node)
+
+    def visit_Name(self, node: ast.Name) -> None:
+        if isinstance(node.ctx, ast.Load) and id(node) not in self._called_nodes:
+            self.calls.append(CallSite(node.id, node.lineno, ref=True))
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.ctx, ast.Load) and id(node) not in self._called_nodes:
+            dotted = _dotted(node)
+            if dotted is not None:
+                self.calls.append(CallSite(dotted, node.lineno, ref=True))
+                return  # don't descend: the inner Name is part of this ref
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            dotted = _dotted(node.value)
+            if dotted is not None and dotted in self._module_globals:
+                self.mutations.append(
+                    GlobalMutation(dotted, node.lineno, f".{node.attr}=")
+                )
+        self.generic_visit(node)
+
+    def visit_Subscript(self, node: ast.Subscript) -> None:
+        if isinstance(node.ctx, (ast.Store, ast.Del)):
+            dotted = _dotted(node.value)
+            if dotted is not None and dotted in self._module_globals:
+                self.mutations.append(
+                    GlobalMutation(dotted, node.lineno, "[]=")
+                )
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        self._record_global_assign(node.targets, node.lineno)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._record_global_assign([node.target], node.lineno)
+        self.generic_visit(node)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        self._record_global_assign([node.target], node.lineno)
+        self.generic_visit(node)
+
+    def _record_global_assign(
+        self, targets: List[ast.expr], lineno: int
+    ) -> None:
+        for target in targets:
+            if (
+                isinstance(target, ast.Name)
+                and target.id in self._declared_global
+            ):
+                self.mutations.append(
+                    GlobalMutation(target.id, lineno, "global-assign")
+                )
+
+
+def _iter_defs(
+    body: List[ast.stmt], prefix: str
+) -> Iterator[Tuple[str, ast.AST]]:
+    """Yield (qual-within-module, node) for defs and classes in a body."""
+    for stmt in body:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield f"{prefix}{stmt.name}", stmt
+        elif isinstance(stmt, ast.ClassDef):
+            yield f"{prefix}{stmt.name}", stmt
+            yield from _iter_defs(stmt.body, f"{prefix}{stmt.name}.")
+        elif isinstance(stmt, (ast.If, ast.Try)):
+            # Defs guarded by TYPE_CHECKING / try-import blocks.
+            for sub in ast.iter_child_nodes(stmt):
+                if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    yield f"{prefix}{sub.name}", sub
+                elif isinstance(sub, ast.ClassDef):
+                    yield f"{prefix}{sub.name}", sub
+                    yield from _iter_defs(sub.body, f"{prefix}{sub.name}.")
+
+
+def summarize_module(module: ModuleInfo) -> ModuleSummary:
+    """Reduce one parsed file to its whole-program summary."""
+    # Imported lazily: dataflow imports this module's types at import
+    # time; the two-way dependency is broken at the function level.
+    from repro.analysis.dataflow import function_effects
+
+    dotted_module = module_dotted_name(module.relpath)
+    summary = ModuleSummary(relpath=module.relpath, module=dotted_module)
+    lines = module.lines
+
+    for node in module.tree.body:
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                summary.imports[name.asname or name.name.split(".")[0]] = (
+                    name.name
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:  # relative import: anchor at this package
+                package_parts = dotted_module.split(".")
+                # A package __init__'s dotted name IS its package; a
+                # plain module must first drop its own last component.
+                if not module.relpath.endswith("__init__.py"):
+                    package_parts = package_parts[:-1]
+                if node.level > 1:
+                    package_parts = package_parts[
+                        : len(package_parts) - (node.level - 1)
+                    ]
+                base = ".".join(package_parts)
+                target = f"{base}.{node.module}" if node.module else base
+            elif node.module is not None:
+                target = node.module
+            else:
+                continue
+            for name in node.names:
+                if name.name == "*":
+                    continue
+                summary.from_imports[name.asname or name.name] = (
+                    target,
+                    name.name,
+                )
+
+    local_classes: Set[str] = set()
+    for qual, node in _iter_defs(module.tree.body, ""):
+        if isinstance(node, ast.ClassDef):
+            local_classes.add(qual.split(".")[-1])
+
+    # Module-level globals (assignments at module scope).
+    for stmt in module.tree.body:
+        targets: List[ast.expr] = []
+        value: Optional[ast.expr] = None
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign):
+            targets, value = [stmt.target], stmt.value
+        for target in targets:
+            if not isinstance(target, ast.Name):
+                continue
+            mutable = value is not None and _is_mutable_value(
+                value, local_classes
+            )
+            summary.globals[target.id] = GlobalDef(
+                name=target.id,
+                line=stmt.lineno,
+                mutable=mutable,
+                fork_safe=_has_fork_safe_marker(lines, stmt.lineno),
+            )
+
+    module_globals = set(summary.globals)
+
+    for qual, node in _iter_defs(module.tree.body, ""):
+        if isinstance(node, ast.ClassDef):
+            methods = tuple(
+                stmt.name
+                for stmt in node.body
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef))
+            )
+            bases = tuple(
+                base_name
+                for base in node.bases
+                if (base_name := _dotted(base)) is not None
+            )
+            summary.classes[qual] = ClassNode(
+                qualname=f"{dotted_module}.{qual}",
+                bases=bases,
+                methods=methods,
+            )
+            continue
+        assert isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        scanner = _FunctionScanner(module_globals)
+        for stmt in node.body:
+            scanner.visit(stmt)
+        cls_qual = qual.rpartition(".")[0] or None
+        effects = function_effects(node, summary, scanner.mutations)
+        summary.functions[qual] = FunctionNode(
+            qualname=f"{dotted_module}.{qual}",
+            relpath=module.relpath,
+            name=node.name,
+            lineno=node.lineno,
+            cls=cls_qual,
+            calls=tuple(scanner.calls),
+            effects=tuple(effects),
+            mutations=tuple(scanner.mutations),
+        )
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# The resolved project call graph
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CallGraph:
+    """Resolved project call graph over fully-qualified function names."""
+
+    #: fully-qualified name -> node, for every function in the project
+    functions: Dict[str, FunctionNode] = field(default_factory=dict)
+    classes: Dict[str, ClassNode] = field(default_factory=dict)
+    #: caller -> called functions (resolved, sorted, deduplicated)
+    call_edges: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: caller -> functions referenced as values (callbacks, factories)
+    ref_edges: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    #: caller -> callee spellings the resolver could not place
+    unresolved: Dict[str, Tuple[str, ...]] = field(default_factory=dict)
+    summaries: Dict[str, ModuleSummary] = field(default_factory=dict)
+
+    def callers_of(self, include_refs: bool = False) -> Dict[str, List[str]]:
+        """Reverse adjacency: callee -> sorted list of callers."""
+        reverse: Dict[str, List[str]] = {}
+        edge_maps = [self.call_edges]
+        if include_refs:
+            edge_maps.append(self.ref_edges)
+        for edges in edge_maps:
+            for caller, callees in edges.items():
+                for callee in callees:
+                    reverse.setdefault(callee, []).append(caller)
+        return {callee: sorted(set(callers)) for callee, callers in reverse.items()}
+
+    def reachable_from(
+        self, roots: List[str], include_refs: bool = False
+    ) -> Set[str]:
+        """Transitive closure over call (and optionally ref) edges."""
+        seen: Set[str] = set()
+        frontier = [root for root in sorted(set(roots)) if root in self.functions]
+        seen.update(frontier)
+        while frontier:
+            next_frontier: List[str] = []
+            for node in frontier:
+                neighbours = list(self.call_edges.get(node, ()))
+                if include_refs:
+                    neighbours.extend(self.ref_edges.get(node, ()))
+                for neighbour in neighbours:
+                    if neighbour not in seen:
+                        seen.add(neighbour)
+                        next_frontier.append(neighbour)
+            frontier = sorted(next_frontier)
+        return seen
+
+    def to_json(self) -> dict:
+        return {
+            "functions": {
+                qual: {
+                    "path": node.relpath,
+                    "line": node.lineno,
+                    "calls": list(self.call_edges.get(qual, ())),
+                    "refs": list(self.ref_edges.get(qual, ())),
+                    "unresolved": list(self.unresolved.get(qual, ())),
+                }
+                for qual, node in sorted(self.functions.items())
+            },
+            "stats": {
+                "functions": len(self.functions),
+                "classes": len(self.classes),
+                "call_edges": sum(len(v) for v in self.call_edges.values()),
+                "ref_edges": sum(len(v) for v in self.ref_edges.values()),
+                "unresolved_sites": sum(
+                    len(v) for v in self.unresolved.values()
+                ),
+            },
+        }
+
+
+class _Resolver:
+    """Resolves textual callee spellings against the symbol table."""
+
+    def __init__(self, summaries: Mapping[str, ModuleSummary]) -> None:
+        self._by_module: Dict[str, ModuleSummary] = {
+            summary.module: summary for summary in summaries.values()
+        }
+        self.functions: Dict[str, FunctionNode] = {}
+        self.classes: Dict[str, ClassNode] = {}
+        for summary in summaries.values():
+            for node in summary.functions.values():
+                self.functions[node.qualname] = node
+            for cls in summary.classes.values():
+                self.classes[cls.qualname] = cls
+
+    def _chase_reexport(self, module: str, name: str) -> Tuple[str, str]:
+        """Follow ``from a import b`` chains through package re-exports."""
+        for _ in range(_MAX_REEXPORT_HOPS):
+            target = self._by_module.get(module)
+            if target is None or name not in target.from_imports:
+                break
+            module, name = target.from_imports[name]
+        return module, name
+
+    def _resolve_root(
+        self, summary: ModuleSummary, context: FunctionNode, root: str
+    ) -> Optional[str]:
+        """Resolve the first segment of a dotted callee to a full prefix."""
+        if root in summary.functions:
+            return f"{summary.module}.{root}"
+        if root in summary.classes:
+            return summary.classes[root].qualname
+        if context.cls is not None:
+            # Methods of the enclosing class shadow module names last.
+            sibling = f"{context.cls}.{root}"
+            if sibling in summary.functions:
+                return f"{summary.module}.{sibling}"
+        if root in summary.from_imports:
+            module, name = self._chase_reexport(*summary.from_imports[root])
+            candidate = f"{module}.{name}"
+            if candidate in self._by_module:  # ``from pkg import module``
+                return candidate
+            return candidate
+        if root in summary.imports:
+            return summary.imports[root]
+        return None
+
+    def _method_on_class(self, cls_qual: str, method: str) -> Optional[str]:
+        """Find ``method`` on a class or its project-resolvable bases."""
+        seen: Set[str] = set()
+        queue = [cls_qual]
+        for _ in range(_MAX_BASE_DEPTH):
+            next_queue: List[str] = []
+            for qual in queue:
+                if qual in seen:
+                    continue
+                seen.add(qual)
+                cls = self.classes.get(qual)
+                if cls is None:
+                    continue
+                if method in cls.methods:
+                    return f"{qual}.{method}"
+                module = qual.rpartition(".")[0]
+                summary = self._by_module.get(module)
+                for base in cls.bases:
+                    resolved = None
+                    if summary is not None:
+                        if base in summary.classes:
+                            resolved = summary.classes[base].qualname
+                        elif base in summary.from_imports:
+                            m, n = self._chase_reexport(
+                                *summary.from_imports[base]
+                            )
+                            resolved = f"{m}.{n}"
+                    if resolved is not None and resolved in self.classes:
+                        next_queue.append(resolved)
+            if not next_queue:
+                break
+            queue = next_queue
+        return None
+
+    def _class_entry(self, cls_qual: str) -> Optional[str]:
+        """The function a constructed/called class instance executes."""
+        for entry in ("__init__", "__call__"):
+            resolved = self._method_on_class(cls_qual, entry)
+            if resolved is not None and resolved in self.functions:
+                return resolved
+        return None
+
+    def resolve(
+        self, summary: ModuleSummary, context: FunctionNode, callee: str
+    ) -> Optional[str]:
+        """Fully-qualified function the callee names, or None."""
+        parts = callee.split(".")
+        if parts[0] in ("self", "cls") and context.cls is not None:
+            if len(parts) != 2:
+                return None
+            cls_qual = f"{summary.module}.{context.cls}"
+            resolved = self._method_on_class(cls_qual, parts[1])
+            if resolved is not None and resolved in self.functions:
+                return resolved
+            return None
+        prefix = self._resolve_root(summary, context, parts[0])
+        if prefix is None:
+            return None
+        target = ".".join([prefix, *parts[1:]])
+        # ``from pkg import name`` where name is itself re-exported.
+        module, _, attr = target.rpartition(".")
+        if attr and module in self._by_module:
+            chased_m, chased_n = self._chase_reexport(module, attr)
+            target = f"{chased_m}.{chased_n}"
+        if target in self.functions:
+            return target
+        if target in self.classes:
+            return self._class_entry(target)
+        return None
+
+
+def build_graph(summaries: Mapping[str, ModuleSummary]) -> CallGraph:
+    """Resolve every summary's call sites into the project call graph."""
+    resolver = _Resolver(summaries)
+    graph = CallGraph(
+        functions=dict(resolver.functions),
+        classes=dict(resolver.classes),
+        summaries=dict(summaries),
+    )
+    for relpath in sorted(summaries):
+        summary = summaries[relpath]
+        for node in summary.functions.values():
+            calls: Set[str] = set()
+            refs: Set[str] = set()
+            unresolved: Set[str] = set()
+            for site in node.calls:
+                target = resolver.resolve(summary, node, site.callee)
+                if target is None:
+                    if not site.ref:
+                        unresolved.add(site.callee)
+                    continue
+                if target == node.qualname:
+                    continue  # self-recursion adds nothing
+                (refs if site.ref else calls).add(target)
+            if calls:
+                graph.call_edges[node.qualname] = tuple(sorted(calls))
+            refs -= calls
+            if refs:
+                graph.ref_edges[node.qualname] = tuple(sorted(refs))
+            if unresolved:
+                graph.unresolved[node.qualname] = tuple(sorted(unresolved))
+    return graph

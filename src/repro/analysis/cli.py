@@ -100,15 +100,35 @@ def build_parser() -> argparse.ArgumentParser:
         help="write a SARIF 2.1.0 report to FILE",
     )
     parser.add_argument(
+        "--graph",
+        metavar="FILE",
+        help="write the project call graph with inferred effect sets "
+        "to FILE as JSON ('-' for stdout)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        help="content-hash cache directory: unchanged files skip "
+        "parsing and per-file rules on warm runs",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="report only findings in files analyzed fresh this run "
+        "(needs --cache-dir to have any effect; developer loop mode)",
+    )
+    parser.add_argument(
         "--eq-table",
         action="store_true",
         help="print the paper-equation traceability table and exit",
     )
     parser.add_argument(
         "--format",
-        choices=("text", "markdown"),
+        choices=("text", "markdown", "github"),
         default="text",
-        help="rendering for --eq-table (default text)",
+        help="finding rendering: 'github' emits ::error/::warning "
+        "workflow annotations; 'markdown' applies to --eq-table "
+        "(default text)",
     )
     parser.add_argument(
         "--list-rules",
@@ -138,6 +158,34 @@ def _write_text(path: str, text: str) -> None:
     target = pathlib.Path(path)
     target.parent.mkdir(parents=True, exist_ok=True)
     target.write_text(text)
+
+
+def _annotation_escape(text: str) -> str:
+    """Escape finding text for GitHub workflow-command message data."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def _render_github(result: LintResult) -> str:
+    """GitHub Actions workflow annotations, one per *active* finding.
+
+    Baselined and suppressed findings are omitted: annotations surface
+    what the ratchet would fail on, not grandfathered history.
+    """
+    lines: List[str] = []
+    for finding in result.active:
+        level = "error" if str(finding.severity) == "error" else "warning"
+        lines.append(
+            f"::{level} file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={finding.rule}::"
+            f"{_annotation_escape(finding.message)}"
+        )
+    lines.append(
+        f"repro-lint: {len(result.active)} finding(s) across "
+        f"{result.files_checked} files"
+    )
+    return "\n".join(lines)
 
 
 def _render(result: LintResult, quiet: bool, ratchet: bool) -> str:
@@ -196,6 +244,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             select=_split(args.select),
             disable=_split(args.disable),
             baseline=baseline,
+            cache_dir=(
+                pathlib.Path(args.cache_dir) if args.cache_dir else None
+            ),
+            changed_only=args.changed_only,
         )
     except ConfigurationError as exc:
         print(f"repro-lint: error: {exc}", file=sys.stderr)
@@ -224,11 +276,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
         return 0
 
-    text = _render(result, quiet=args.quiet, ratchet=args.ratchet)
+    if args.format == "github":
+        text = _render_github(result)
+    else:
+        text = _render(result, quiet=args.quiet, ratchet=args.ratchet)
     print(text)
     if args.output:
         _write_text(args.output, text + "\n")
 
+    if args.graph:
+        try:
+            payload = (
+                json.dumps(result.graph_json(), indent=2, sort_keys=True)
+                + "\n"
+            )
+        except ConfigurationError as exc:
+            print(f"repro-lint: error: {exc}", file=sys.stderr)
+            return 2
+        if args.graph == "-":
+            sys.stdout.write(payload)
+        else:
+            _write_text(args.graph, payload)
     if args.json:
         payload = json.dumps(result.to_json(), indent=2, sort_keys=True) + "\n"
         if args.json == "-":

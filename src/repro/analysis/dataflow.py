@@ -1,0 +1,356 @@
+"""Effect inference: direct effects per function, then fixed-point taint.
+
+The effect lattice is a flat powerset over :data:`EFFECT_KINDS`:
+
+* ``rng``         -- process-global RNG state (RL001's sources);
+* ``wallclock``   -- wall-clock reads (RL002's sources);
+* ``set_iter``    -- unsorted set iteration (RL003's sources);
+* ``file_io``     -- filesystem access;
+* ``network``     -- socket / HTTP access;
+* ``global_mut``  -- mutation of a module-level binding.
+
+:func:`function_effects` detects the *direct* effects of one function
+body (reusing the per-file rules' detection heuristics, scoped to the
+function instead of the module). :func:`propagate` then closes the
+relation over the call graph: breadth-first over reverse call edges
+from every directly-effectful function, so a function's inferred
+effect set is the union of its own and everything it can reach. Each
+propagated effect carries a deterministic *witness chain* — the
+shortest call path to the concrete source line, ties broken by sorted
+qualified name — which is what lets RL009 report ``engine.run ->
+utils.jitter -> random.random() (src/repro/utils.py:12)`` instead of a
+bare verdict.
+
+Join is set union and the call graph is finite, so the breadth-first
+closure IS the fixed point: one visit per (function, kind) pair,
+``O(edges x kinds)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.analysis.callgraph import (
+    CallGraph,
+    DirectEffect,
+    GlobalMutation,
+    ModuleSummary,
+)
+
+__all__ = [
+    "EFFECT_KINDS",
+    "DETERMINISM_KINDS",
+    "EFFECT_RULES",
+    "Taint",
+    "function_effects",
+    "propagate",
+    "effects_to_json",
+]
+
+#: Every effect kind the analysis infers, in report order.
+EFFECT_KINDS = (
+    "rng",
+    "wallclock",
+    "set_iter",
+    "file_io",
+    "network",
+    "global_mut",
+)
+
+#: The kinds that break bit-identical reproduction (RL009's concern).
+DETERMINISM_KINDS = ("rng", "wallclock", "set_iter")
+
+#: Effect kind -> the per-file rule that polices *direct* uses. A source
+#: whose direct finding is inline-suppressed is sanctioned, so it does
+#: not seed whole-program taint either.
+EFFECT_RULES = {"rng": "RL001", "wallclock": "RL002", "set_iter": "RL003"}
+
+_ALLOWED_STDLIB_RANDOM = {"Random", "SystemRandom"}
+_ALLOWED_NUMPY_RANDOM = {"default_rng", "Generator"}
+_TIME_ATTRS = {
+    "time",
+    "time_ns",
+    "monotonic",
+    "monotonic_ns",
+    "perf_counter",
+    "perf_counter_ns",
+    "process_time",
+    "process_time_ns",
+    "clock_gettime",
+    "clock_gettime_ns",
+}
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+_OS_FILE_ATTRS = {
+    "open",
+    "remove",
+    "unlink",
+    "rename",
+    "replace",
+    "makedirs",
+    "mkdir",
+    "rmdir",
+    "listdir",
+    "scandir",
+    "walk",
+    "stat",
+    "write",
+    "read",
+}
+_PATH_METHODS = {
+    "read_text",
+    "read_bytes",
+    "write_text",
+    "write_bytes",
+    "mkdir",
+    "rmdir",
+    "unlink",
+    "rename",
+    "replace",
+    "touch",
+    "glob",
+    "rglob",
+    "iterdir",
+    "symlink_to",
+    "hardlink_to",
+}
+_FILE_MODULES = {"shutil", "tempfile"}
+_NETWORK_MODULES = {
+    "socket",
+    "urllib",
+    "http",
+    "requests",
+    "ftplib",
+    "smtplib",
+}
+
+
+@dataclass(frozen=True)
+class Taint:
+    """One inferred effect of a function, with its witness chain.
+
+    ``chain`` runs from the tainted function to the source function,
+    both inclusive; ``chain == (fn,)`` means the effect is direct.
+    """
+
+    kind: str
+    source: str  #: fully-qualified source function
+    line: int  #: line of the concrete effect inside the source
+    detail: str
+    chain: Tuple[str, ...]
+
+    @property
+    def direct(self) -> bool:
+        return len(self.chain) == 1
+
+
+def _dotted(node: ast.AST) -> Optional[str]:
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def function_effects(
+    fn: "ast.FunctionDef | ast.AsyncFunctionDef",
+    summary: ModuleSummary,
+    mutations: Sequence[GlobalMutation] = (),
+) -> List[DirectEffect]:
+    """Direct effects of one function body (module context from summary).
+
+    ``summary`` only needs its import tables populated; the function
+    nodes may still be under construction.
+    """
+    # Imported at call time: the rules package imports the
+    # whole-program rules, which import this module — importing
+    # rules.determinism at module level would close that cycle.
+    from repro.analysis.rules.determinism import ordering_hazards, set_names
+
+    effects: List[DirectEffect] = []
+
+    aliases = summary.imports
+    random_aliases = {a for a, m in aliases.items() if m == "random"}
+    numpy_aliases = {a for a, m in aliases.items() if m == "numpy"}
+    numpy_random_aliases = {a for a, m in aliases.items() if m == "numpy.random"}
+    time_aliases = {a for a, m in aliases.items() if m == "time"}
+    datetime_aliases = {a for a, m in aliases.items() if m == "datetime"}
+    file_aliases = {a for a, m in aliases.items() if m in _FILE_MODULES}
+    os_aliases = {a for a, m in aliases.items() if m == "os"}
+    network_aliases = {
+        a
+        for a, m in aliases.items()
+        if m.split(".")[0] in _NETWORK_MODULES
+    }
+
+    # Names from-imported straight onto nondeterministic callables:
+    # ``from random import random`` / ``from time import monotonic``.
+    rng_names = {
+        local
+        for local, (mod, name) in summary.from_imports.items()
+        if (mod == "random" and name not in _ALLOWED_STDLIB_RANDOM)
+        or (mod == "numpy.random" and name not in _ALLOWED_NUMPY_RANDOM)
+    }
+    clock_names = {
+        local
+        for local, (mod, name) in summary.from_imports.items()
+        if mod == "time" and name in _TIME_ATTRS
+    }
+    datetime_classes = {
+        local
+        for local, (mod, name) in summary.from_imports.items()
+        if mod == "datetime" and name in {"datetime", "date"}
+    }
+
+    all_nodes = [node for stmt in fn.body for node in ast.walk(stmt)]
+
+    for node in all_nodes:
+        if isinstance(node, ast.Attribute) and isinstance(node.ctx, ast.Load):
+            dotted = _dotted(node)
+            if dotted is None:
+                continue
+            parts = dotted.split(".")
+            if (
+                parts[0] in random_aliases
+                and len(parts) == 2
+                and parts[1] not in _ALLOWED_STDLIB_RANDOM
+            ):
+                effects.append(DirectEffect("rng", node.lineno, dotted))
+            elif (
+                (
+                    parts[0] in numpy_aliases
+                    and len(parts) == 3
+                    and parts[1] == "random"
+                )
+                or (parts[0] in numpy_random_aliases and len(parts) == 2)
+            ) and parts[-1] not in _ALLOWED_NUMPY_RANDOM:
+                effects.append(DirectEffect("rng", node.lineno, dotted))
+            elif (
+                parts[0] in time_aliases
+                and len(parts) == 2
+                and parts[1] in _TIME_ATTRS
+            ):
+                effects.append(DirectEffect("wallclock", node.lineno, dotted))
+            elif parts[-1] in _DATETIME_ATTRS and (
+                (parts[0] in datetime_aliases and len(parts) == 3)
+                or (parts[0] in datetime_classes and len(parts) == 2)
+            ):
+                effects.append(DirectEffect("wallclock", node.lineno, dotted))
+            elif parts[0] in os_aliases and (
+                (len(parts) == 2 and parts[1] in _OS_FILE_ATTRS)
+                or (len(parts) == 3 and parts[1] == "path" and parts[2] == "exists")
+            ):
+                effects.append(DirectEffect("file_io", node.lineno, dotted))
+            elif parts[0] in file_aliases and len(parts) >= 2:
+                effects.append(DirectEffect("file_io", node.lineno, dotted))
+            elif parts[0] in network_aliases and len(parts) >= 2:
+                effects.append(DirectEffect("network", node.lineno, dotted))
+        elif isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load):
+            if node.id in rng_names:
+                effects.append(DirectEffect("rng", node.lineno, node.id))
+            elif node.id in clock_names:
+                effects.append(DirectEffect("wallclock", node.lineno, node.id))
+        elif isinstance(node, ast.Call):
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                effects.append(DirectEffect("file_io", node.lineno, "open()"))
+            elif (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _PATH_METHODS
+            ):
+                effects.append(
+                    DirectEffect("file_io", node.lineno, f".{node.func.attr}()")
+                )
+
+    names = set_names(fn)
+    for stmt in fn.body:
+        for node, _message in ordering_hazards(stmt, names):
+            effects.append(
+                DirectEffect("set_iter", node.lineno, "set iteration")
+            )
+
+    for mutation in mutations:
+        effects.append(
+            DirectEffect(
+                "global_mut", mutation.line, f"{mutation.name}{mutation.how}"
+            )
+        )
+
+    unique = sorted(set(effects), key=lambda e: (e.kind, e.line, e.detail))
+    return unique
+
+
+def propagate(
+    graph: CallGraph,
+    seeds: Mapping[str, Sequence[DirectEffect]],
+    include_refs: bool = False,
+) -> Dict[str, Dict[str, Taint]]:
+    """Close the effect relation over the call graph.
+
+    ``seeds`` maps function qualnames to their (possibly filtered)
+    direct effects. Returns, for every function that has or reaches an
+    effect, one :class:`Taint` per effect kind with the shortest
+    deterministic witness chain.
+    """
+    reverse = graph.callers_of(include_refs=include_refs)
+    result: Dict[str, Dict[str, Taint]] = {}
+    frontier: List[Tuple[str, str]] = []
+    for qualname in sorted(seeds):
+        if qualname not in graph.functions:
+            continue
+        per_kind: Dict[str, Taint] = result.setdefault(qualname, {})
+        for effect in sorted(
+            seeds[qualname], key=lambda e: (e.kind, e.line, e.detail)
+        ):
+            if effect.kind not in per_kind:
+                per_kind[effect.kind] = Taint(
+                    kind=effect.kind,
+                    source=qualname,
+                    line=effect.line,
+                    detail=effect.detail,
+                    chain=(qualname,),
+                )
+                frontier.append((qualname, effect.kind))
+    frontier.sort()
+    while frontier:
+        next_frontier: List[Tuple[str, str]] = []
+        for qualname, kind in frontier:
+            taint = result[qualname][kind]
+            for caller in reverse.get(qualname, ()):
+                per_kind = result.setdefault(caller, {})
+                if kind not in per_kind:
+                    per_kind[kind] = Taint(
+                        kind=kind,
+                        source=taint.source,
+                        line=taint.line,
+                        detail=taint.detail,
+                        chain=(caller, *taint.chain),
+                    )
+                    next_frontier.append((caller, kind))
+        frontier = sorted(next_frontier)
+    return result
+
+
+def effects_to_json(
+    graph: CallGraph, taints: Mapping[str, Mapping[str, Taint]]
+) -> dict:
+    """The ``--graph`` dump: call graph plus inferred effect sets."""
+    dump = graph.to_json()
+    for qualname, per_kind in sorted(taints.items()):
+        entry = dump["functions"].get(qualname)
+        if entry is None:
+            continue
+        entry["effects"] = {
+            kind: {
+                "source": taint.source,
+                "line": taint.line,
+                "detail": taint.detail,
+                "chain": list(taint.chain),
+            }
+            for kind, taint in sorted(per_kind.items())
+        }
+    dump["stats"]["effectful_functions"] = len(taints)
+    return dump

@@ -1,10 +1,23 @@
 """Lint engine: collect files, run rules, apply suppressions + baseline.
 
 The engine is deliberately dependency-free and deterministic: files are
-discovered in sorted order, findings are sorted by (path, line, col,
-rule), and the JSON report round-trips byte-identically for identical
-inputs — the same property the simulators guarantee, applied to the
-tool that polices it.
+discovered in sorted order (by repo-relative POSIX path *string*, so
+the order is byte-stable across filesystems and OSes), findings are
+sorted by (path, line, col, rule), and the JSON report round-trips
+byte-identically for identical inputs — the same property the
+simulators guarantee, applied to the tool that polices it.
+
+Analysis runs in two phases:
+
+1. **Per file** — parse, suppression pragmas, equation scan, every
+   per-file rule, and the whole-program
+   :class:`~repro.analysis.callgraph.ModuleSummary`. This phase is
+   memoized by content hash under ``--cache-dir``
+   (:mod:`repro.analysis.cache`); a warm run skips it entirely for
+   unchanged files.
+2. **Whole program** — the equation table, the call graph, effect
+   propagation, and every rule's ``finalize`` pass, always computed
+   fresh from the (possibly cached) per-file results.
 """
 
 from __future__ import annotations
@@ -12,21 +25,31 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Set
 
 from repro.analysis.baseline import Baseline, apply_baseline
-from repro.analysis.eqmap import EqTable, build_table
+from repro.analysis.cache import AnalysisCache, FileRecord, content_hash
+from repro.analysis.callgraph import ModuleSummary, summarize_module
+from repro.analysis.eqmap import EqClaim, EqMention, EqTable, scan_module, table_from_scans
 from repro.analysis.findings import Finding, Severity
 from repro.analysis.registry import (
     ModuleInfo,
     ProjectInfo,
     Rule,
+    all_rules,
     select_rules,
 )
 from repro.analysis.suppressions import Suppressions, parse_suppressions
 from repro.errors import ConfigurationError
 
-__all__ = ["LintResult", "run_lint", "default_repo_root", "check_source"]
+__all__ = [
+    "LintResult",
+    "run_lint",
+    "discover_files",
+    "default_repo_root",
+    "check_source",
+    "check_project",
+]
 
 #: The tree linted by default, relative to the repo root.
 DEFAULT_TARGET = "src/repro"
@@ -47,6 +70,31 @@ def default_repo_root() -> Path:
     return Path.cwd()
 
 
+def discover_files(root: Path, targets: Sequence[str]) -> List[str]:
+    """Resolve lint targets to sorted repo-relative POSIX paths.
+
+    Every ``*.py`` regular file under a directory target is included —
+    type-stub-only modules and empty ``__init__.py`` files too; the
+    rules decide what matters, discovery never filters by content. The
+    result is deduplicated and sorted by path *string* (not by
+    ``Path``, whose component-wise ordering puts ``engine/batch.py``
+    before ``engine.py``), so findings order is identical on every
+    platform and filesystem.
+    """
+    relpaths: Set[str] = set()
+    for target in targets:
+        path = root / target
+        if path.is_dir():
+            for candidate in path.rglob("*.py"):
+                if candidate.is_file():
+                    relpaths.add(candidate.relative_to(root).as_posix())
+        elif path.is_file():
+            relpaths.add(path.relative_to(root).as_posix())
+        else:
+            raise ConfigurationError(f"lint target not found: {target}")
+    return sorted(relpaths)
+
+
 @dataclass
 class LintResult:
     """Everything one lint run produced."""
@@ -57,6 +105,13 @@ class LintResult:
     eq_table: Optional[EqTable] = None
     files_checked: int = 0
     rules_run: List[str] = field(default_factory=list)
+    #: Files analyzed fresh this run (= cache misses; all files when
+    #: caching is off). ``--changed-only`` reports only these.
+    changed_files: List[str] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    #: The assembled project view (for ``--graph``); not serialized.
+    project: Optional[ProjectInfo] = field(default=None, repr=False)
 
     @property
     def active(self) -> List[Finding]:
@@ -82,6 +137,8 @@ class LintResult:
         return counts
 
     def to_json(self) -> Dict[str, object]:
+        # Cache statistics are deliberately absent: the report must be
+        # byte-identical for identical inputs, cold or warm.
         return {
             "version": 1,
             "summary": {
@@ -110,10 +167,18 @@ class LintResult:
             "eq_coverage": self.eq_table.to_json() if self.eq_table else None,
         }
 
+    def graph_json(self) -> Dict[str, object]:
+        """The ``--graph`` dump: call graph + inferred effect sets."""
+        from repro.analysis.dataflow import effects_to_json
+
+        if self.project is None:
+            raise ConfigurationError(
+                "no project view available for --graph (eq-table-only run?)"
+            )
+        return effects_to_json(self.project.graph(), self.project.taints())
+
     def to_sarif(self) -> Dict[str, object]:
         """Minimal SARIF 2.1.0 document (one run, one result per finding)."""
-        from repro.analysis.registry import all_rules
-
         rules_meta = [
             {
                 "id": rule.meta.id,
@@ -181,49 +246,95 @@ def _load_module(path: Path, relpath: str) -> ModuleInfo:
     return ModuleInfo(relpath=relpath, tree=tree, source=source)
 
 
+def _analyze_file(
+    module: ModuleInfo, source_hash: str, rules: Sequence[Rule]
+) -> FileRecord:
+    """The cacheable per-file phase: all rules, pragmas, scans, summary."""
+    findings: List[Finding] = []
+    for rule in rules:
+        if rule.meta.applies_to(module.relpath):
+            findings.extend(rule.check_module(module))
+    claims, mentions = scan_module(module)
+    return FileRecord(
+        content_hash=source_hash,
+        findings=sorted(findings),
+        suppressions=parse_suppressions(module.source),
+        claims=claims,
+        mentions=mentions,
+        summary=summarize_module(module),
+    )
+
+
 def run_lint(
     repo_root: Optional[Path] = None,
     targets: Sequence[str] = (DEFAULT_TARGET,),
     select: Sequence[str] = (),
     disable: Sequence[str] = (),
     baseline: Optional[Baseline] = None,
+    cache_dir: Optional[Path] = None,
+    changed_only: bool = False,
 ) -> LintResult:
-    """Lint ``targets`` (repo-relative files or directories) end to end."""
+    """Lint ``targets`` (repo-relative files or directories) end to end.
+
+    With ``cache_dir``, unchanged files reuse their cached per-file
+    analysis (all rules run on a miss, so the cache is valid for every
+    ``select``/``disable`` combination). With ``changed_only``, the
+    report keeps only findings anchored in files analyzed fresh this
+    run — a developer loop mode; baseline staleness is not reported
+    because unchanged files were not re-examined.
+    """
     root = (repo_root or default_repo_root()).resolve()
-    files: List[Path] = []
-    for target in targets:
-        path = root / target
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        elif path.is_file():
-            files.append(path)
-        else:
-            raise ConfigurationError(f"lint target not found: {target}")
-    files = sorted(set(files))
+    relpaths = discover_files(root, targets)
+
+    cache = AnalysisCache.load(Path(cache_dir)) if cache_dir else None
+    per_file_rules = all_rules()
+    active_rules: List[Rule] = select_rules(select, disable)
+    active_ids = {rule.meta.id for rule in active_rules}
 
     modules: List[ModuleInfo] = []
+    summaries: Dict[str, ModuleSummary] = {}
     suppression_map: Dict[str, Suppressions] = {}
-    for path in files:
-        relpath = path.relative_to(root).as_posix()
-        module = _load_module(path, relpath)
-        modules.append(module)
-        suppression_map[relpath] = parse_suppressions(module.source)
+    raw: List[Finding] = []
+    claims: List[EqClaim] = []
+    mentions: List[EqMention] = []
+    changed: List[str] = []
+
+    for relpath in relpaths:
+        path = root / relpath
+        source = path.read_text()
+        source_hash = content_hash(source)
+        record = cache.lookup(relpath, source_hash) if cache else None
+        if record is None or record.summary is None:
+            module = _load_module(path, relpath)
+            modules.append(module)
+            changed.append(relpath)
+            record = _analyze_file(module, source_hash, per_file_rules)
+            if cache is not None:
+                cache.store(relpath, record)
+        assert record.summary is not None  # _analyze_file always builds one
+        summaries[relpath] = record.summary
+        suppression_map[relpath] = record.suppressions
+        claims.extend(record.claims)
+        mentions.extend(record.mentions)
+        raw.extend(f for f in record.findings if f.rule in active_ids)
+
+    if cache is not None:
+        cache.prune(tuple(relpaths))
+        cache.save()
 
     paper_path = root / "PAPER.md"
     eq_table: Optional[EqTable] = None
     if paper_path.exists():
-        eq_table = build_table(modules, paper_path.read_text())
+        eq_table = table_from_scans(claims, mentions, paper_path.read_text())
 
-    project = ProjectInfo(modules=modules, eq_table=eq_table)
-    rules: List[Rule] = select_rules(select, disable)
-
-    raw: List[Finding] = []
-    for module in modules:
-        for rule in rules:
-            if not rule.meta.applies_to(module.relpath):
-                continue
-            raw.extend(rule.check_module(module))
-    for rule in rules:
+    project = ProjectInfo(
+        modules=modules,
+        eq_table=eq_table,
+        repo_root=root,
+        summaries=summaries,
+        suppressions=suppression_map,
+    )
+    for rule in active_rules:
         raw.extend(rule.finalize(project))
 
     kept: List[Finding] = []
@@ -239,13 +350,23 @@ def run_lint(
     if baseline is not None:
         kept, stale = apply_baseline(kept, baseline)
 
+    if changed_only:
+        changed_set = set(changed)
+        kept = [f for f in kept if f.path in changed_set]
+        suppressed = [f for f in suppressed if f.path in changed_set]
+        stale = []
+
     return LintResult(
         findings=sorted(kept),
         suppressed=sorted(suppressed),
         stale_baseline=stale,
         eq_table=eq_table,
-        files_checked=len(files),
-        rules_run=[rule.meta.id for rule in rules],
+        files_checked=len(relpaths),
+        rules_run=[rule.meta.id for rule in active_rules],
+        changed_files=changed,
+        cache_hits=cache.hits if cache else 0,
+        cache_misses=cache.misses if cache else len(relpaths),
+        project=project,
     )
 
 
@@ -268,4 +389,51 @@ def check_source(
         finding
         for finding in rule.check_module(module)
         if not suppressions.is_suppressed(finding)
+    )
+
+
+def check_project(
+    rule: Rule,
+    sources: Mapping[str, str],
+    docs: Optional[Mapping[str, str]] = None,
+) -> List[Finding]:
+    """Run one rule over an in-memory multi-file project (test helper).
+
+    ``sources`` maps repo-relative paths to Python source; ``docs`` maps
+    paths to plain-text content for rules that cross-check
+    documentation. Runs the rule's per-module pass (scope honoured) and
+    its ``finalize`` pass, then applies each file's inline suppressions.
+    """
+    modules: List[ModuleInfo] = []
+    for relpath in sorted(sources):
+        modules.append(
+            ModuleInfo(
+                relpath=relpath,
+                tree=ast.parse(sources[relpath]),
+                source=sources[relpath],
+            )
+        )
+    suppression_map = {
+        module.relpath: parse_suppressions(module.source) for module in modules
+    }
+    project = ProjectInfo(
+        modules=modules,
+        summaries={
+            module.relpath: summarize_module(module) for module in modules
+        },
+        suppressions=suppression_map,
+        docs=dict(docs or {}),
+    )
+    raw: List[Finding] = []
+    for module in modules:
+        if rule.meta.applies_to(module.relpath):
+            raw.extend(rule.check_module(module))
+    raw.extend(rule.finalize(project))
+    return sorted(
+        finding
+        for finding in raw
+        if not (
+            (suppressions := suppression_map.get(finding.path)) is not None
+            and suppressions.is_suppressed(finding)
+        )
     )

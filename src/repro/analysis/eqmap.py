@@ -33,6 +33,7 @@ __all__ = [
     "EqTable",
     "parse_paper_equations",
     "scan_module",
+    "table_from_scans",
     "build_table",
 ]
 
@@ -275,18 +276,30 @@ class EqTable:
         }
 
 
-def build_table(
-    modules: List[ModuleInfo], paper_text: str
+def table_from_scans(
+    claims: List[EqClaim], mentions: List[EqMention], paper_text: str
 ) -> EqTable:
-    """Scan every module and cross-reference against PAPER.md's registry."""
+    """Assemble the table from pre-scanned claims/mentions.
+
+    The analysis cache stores each file's scan results, so warm lint
+    runs rebuild the table without re-parsing any module.
+    """
     numbers = parse_paper_equations(paper_text)
     registry = {
         number: EQUATION_TITLES.get(number, "(no curated statement)")
         for number in numbers
     }
-    table = EqTable(registry=registry)
+    return EqTable(registry=registry, claims=claims, mentions=mentions)
+
+
+def build_table(
+    modules: List[ModuleInfo], paper_text: str
+) -> EqTable:
+    """Scan every module and cross-reference against PAPER.md's registry."""
+    claims: List[EqClaim] = []
+    mentions: List[EqMention] = []
     for module in modules:
-        claims, mentions = scan_module(module)
-        table.claims.extend(claims)
-        table.mentions.extend(mentions)
-    return table
+        module_claims, module_mentions = scan_module(module)
+        claims.extend(module_claims)
+        mentions.extend(module_mentions)
+    return table_from_scans(claims, mentions, paper_text)

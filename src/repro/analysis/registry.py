@@ -33,7 +33,12 @@ from typing import (
 )
 
 if TYPE_CHECKING:  # pragma: no cover
+    from pathlib import Path
+
+    from repro.analysis.callgraph import CallGraph, ModuleSummary
+    from repro.analysis.dataflow import Taint
     from repro.analysis.eqmap import EqTable
+    from repro.analysis.suppressions import Suppressions
 
 from repro.analysis.findings import Finding, Severity
 from repro.errors import ConfigurationError
@@ -85,11 +90,102 @@ class ModuleInfo:
 
 @dataclass
 class ProjectInfo:
-    """Everything the engine learned, for cross-file ``finalize`` passes."""
+    """Everything the engine learned, for cross-file ``finalize`` passes.
+
+    ``modules`` holds the files parsed *this run* — on a warm-cache run
+    that may be a subset of the project (or empty). Whole-program rules
+    therefore go through :meth:`find_module` (which falls back to disk)
+    and :attr:`summaries` (which always covers every discovered file),
+    never through ``modules`` directly.
+    """
 
     modules: List[ModuleInfo] = field(default_factory=list)
     #: Equation traceability table (None when PAPER.md is unavailable).
     eq_table: "Optional[EqTable]" = None
+    #: Repository root for on-demand file loading (None = in-memory only).
+    repo_root: "Optional[Path]" = None
+    #: relpath -> whole-program summary, for every discovered file.
+    summaries: "Dict[str, ModuleSummary]" = field(default_factory=dict)
+    #: relpath -> parsed suppression pragmas, for every discovered file.
+    suppressions: "Dict[str, Suppressions]" = field(default_factory=dict)
+    #: In-memory documentation overrides (tests); falls back to disk.
+    docs: Dict[str, str] = field(default_factory=dict)
+    _module_cache: Dict[str, Optional[ModuleInfo]] = field(
+        default_factory=dict, repr=False
+    )
+    _graph: "Optional[CallGraph]" = field(default=None, repr=False)
+    _taints: "Optional[Dict[str, Dict[str, Taint]]]" = field(
+        default=None, repr=False
+    )
+
+    def find_module(self, relpath: str) -> Optional[ModuleInfo]:
+        """A parsed module by repo-relative path, loading lazily.
+
+        Prefers modules parsed this run; otherwise reads + parses from
+        ``repo_root``. Returns None when the file does not exist (or
+        fails to parse), so rules can degrade gracefully.
+        """
+        if relpath in self._module_cache:
+            return self._module_cache[relpath]
+        found: Optional[ModuleInfo] = None
+        for module in self.modules:
+            if module.relpath == relpath:
+                found = module
+                break
+        if found is None and self.repo_root is not None:
+            path = self.repo_root / relpath
+            if path.is_file():
+                try:
+                    source = path.read_text()
+                    found = ModuleInfo(
+                        relpath=relpath,
+                        tree=ast.parse(source, filename=str(path)),
+                        source=source,
+                    )
+                except (OSError, SyntaxError):
+                    found = None
+        self._module_cache[relpath] = found
+        return found
+
+    def read_text(self, relpath: str) -> Optional[str]:
+        """A text file (e.g. docs) by repo-relative path, or None."""
+        if relpath in self.docs:
+            return self.docs[relpath]
+        if self.repo_root is not None:
+            path = self.repo_root / relpath
+            if path.is_file():
+                try:
+                    return path.read_text()
+                except OSError:
+                    return None
+        return None
+
+    def graph(self) -> "CallGraph":
+        """The resolved project call graph (built lazily, then cached)."""
+        if self._graph is None:
+            from repro.analysis.callgraph import build_graph, summarize_module
+
+            if not self.summaries:
+                self.summaries = {
+                    module.relpath: summarize_module(module)
+                    for module in self.modules
+                }
+            self._graph = build_graph(self.summaries)
+        return self._graph
+
+    def taints(self) -> "Dict[str, Dict[str, Taint]]":
+        """Inferred effect sets for every function (unfiltered seeds)."""
+        if self._taints is None:
+            from repro.analysis.dataflow import propagate
+
+            graph = self.graph()
+            seeds = {
+                qualname: node.effects
+                for qualname, node in graph.functions.items()
+                if node.effects
+            }
+            self._taints = propagate(graph, seeds, include_refs=False)
+        return self._taints
 
 
 class Rule:

@@ -14,6 +14,14 @@ from repro.analysis.rules import (
     floats,
     hygiene,
     traceability,
+    wholeprogram,
 )
 
-__all__ = ["concurrency", "determinism", "floats", "hygiene", "traceability"]
+__all__ = [
+    "concurrency",
+    "determinism",
+    "floats",
+    "hygiene",
+    "traceability",
+    "wholeprogram",
+]

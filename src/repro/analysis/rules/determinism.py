@@ -250,6 +250,106 @@ _ORDER_INSENSITIVE_CONSUMERS = {
 }
 
 
+# The set-detection heuristics are shared with the whole-program effect
+# inference (repro.analysis.dataflow), which runs them function-scoped,
+# so they live at module level rather than on the rule class.
+def set_names(tree: ast.AST) -> Set[str]:
+    """Names that are (heuristically) bound to set values in ``tree``."""
+    names: Set[str] = set()
+
+    def is_set_annotation(annotation: Optional[ast.expr]) -> bool:
+        if annotation is None:
+            return False
+        target = annotation
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if isinstance(target, ast.Attribute):
+            return target.attr in _SET_TYPE_NAMES
+        return isinstance(target, ast.Name) and target.id in _SET_TYPE_NAMES
+
+    # Two passes so `b = a | other` after `a = set()` is caught.
+    for _ in range(2):
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Assign) and is_set_expr(node.value, names):
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        names.add(target.id)
+            elif isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                if is_set_annotation(node.annotation) or (
+                    node.value is not None and is_set_expr(node.value, names)
+                ):
+                    names.add(node.target.id)
+            elif isinstance(node, ast.arg) and is_set_annotation(
+                node.annotation
+            ):
+                names.add(node.arg)
+    return names
+
+
+def is_set_expr(node: ast.expr, names: Set[str]) -> bool:
+    """Whether an expression (heuristically) evaluates to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in names
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return is_set_expr(node.left, names) or is_set_expr(node.right, names)
+    if isinstance(node, ast.Call):
+        if isinstance(node.func, ast.Name) and node.func.id in {
+            "set",
+            "frozenset",
+        }:
+            return True
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _SET_METHODS
+            and is_set_expr(node.func.value, names)
+        ):
+            return True
+    return False
+
+
+def ordering_hazards(
+    tree: ast.AST, names: Set[str]
+) -> Iterator[Tuple[ast.AST, str]]:
+    """Yield ``(node, description)`` for every unsorted-set iteration."""
+    base = (
+        "iterating a set has nondeterministic order; wrap the "
+        "iterable in sorted(...)"
+    )
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.For, ast.AsyncFor)) and is_set_expr(
+            node.iter, names
+        ):
+            yield node.iter, base
+        elif isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+        ):
+            for comp in node.generators:
+                if is_set_expr(comp.iter, names):
+                    yield comp.iter, base
+        elif isinstance(node, ast.Call):
+            func = node.func
+            if (
+                isinstance(func, ast.Name)
+                and func.id in _ORDER_SENSITIVE_CONSUMERS
+                and node.args
+                and is_set_expr(node.args[0], names)
+            ):
+                yield node, f"{func.id}() over a set is order-dependent; {base}"
+            elif (
+                isinstance(func, ast.Attribute)
+                and func.attr == "join"
+                and node.args
+                and is_set_expr(node.args[0], names)
+            ):
+                yield node, f"str.join over a set is order-dependent; {base}"
+
+
 @register
 class NoOrderingHazard(Rule):
     """RL003: iteration over sets must be sorted.
@@ -280,108 +380,7 @@ class NoOrderingHazard(Rule):
         ),
     )
 
-    def _set_names(self, tree: ast.Module) -> Set[str]:
-        """Names that are (heuristically) bound to set values."""
-        names: Set[str] = set()
-
-        def is_set_annotation(annotation: Optional[ast.expr]) -> bool:
-            if annotation is None:
-                return False
-            target = annotation
-            if isinstance(target, ast.Subscript):
-                target = target.value
-            if isinstance(target, ast.Attribute):
-                return target.attr in _SET_TYPE_NAMES
-            return isinstance(target, ast.Name) and target.id in _SET_TYPE_NAMES
-
-        # Two passes so `b = a | other` after `a = set()` is caught.
-        for _ in range(2):
-            for node in ast.walk(tree):
-                if isinstance(node, ast.Assign) and self._is_set_expr(
-                    node.value, names
-                ):
-                    for target in node.targets:
-                        if isinstance(target, ast.Name):
-                            names.add(target.id)
-                elif isinstance(node, ast.AnnAssign) and isinstance(
-                    node.target, ast.Name
-                ):
-                    if is_set_annotation(node.annotation) or (
-                        node.value is not None
-                        and self._is_set_expr(node.value, names)
-                    ):
-                        names.add(node.target.id)
-                elif isinstance(node, ast.arg) and is_set_annotation(
-                    node.annotation
-                ):
-                    names.add(node.arg)
-        return names
-
-    def _is_set_expr(self, node: ast.expr, set_names: Set[str]) -> bool:
-        if isinstance(node, (ast.Set, ast.SetComp)):
-            return True
-        if isinstance(node, ast.Name):
-            return node.id in set_names
-        if isinstance(node, ast.BinOp) and isinstance(
-            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
-        ):
-            return self._is_set_expr(node.left, set_names) or self._is_set_expr(
-                node.right, set_names
-            )
-        if isinstance(node, ast.Call):
-            if isinstance(node.func, ast.Name) and node.func.id in {
-                "set",
-                "frozenset",
-            }:
-                return True
-            if (
-                isinstance(node.func, ast.Attribute)
-                and node.func.attr in _SET_METHODS
-                and self._is_set_expr(node.func.value, set_names)
-            ):
-                return True
-        return False
-
     def check_module(self, module: ModuleInfo) -> Iterator[Finding]:
-        set_names = self._set_names(module.tree)
-
-        def hazard(iterable: ast.expr) -> bool:
-            return self._is_set_expr(iterable, set_names)
-
-        message = (
-            "iterating a set has nondeterministic order; wrap the "
-            "iterable in sorted(...)"
-        )
-        for node in ast.walk(module.tree):
-            if isinstance(node, (ast.For, ast.AsyncFor)) and hazard(node.iter):
-                yield self.finding(module, node.iter, message)
-            elif isinstance(
-                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
-            ):
-                for comp in node.generators:
-                    if hazard(comp.iter):
-                        yield self.finding(module, comp.iter, message)
-            elif isinstance(node, ast.Call):
-                func = node.func
-                if (
-                    isinstance(func, ast.Name)
-                    and func.id in _ORDER_SENSITIVE_CONSUMERS
-                    and node.args
-                    and hazard(node.args[0])
-                ):
-                    yield self.finding(
-                        module,
-                        node,
-                        f"{func.id}() over a set is order-dependent; " + message,
-                    )
-                elif (
-                    isinstance(func, ast.Attribute)
-                    and func.attr == "join"
-                    and node.args
-                    and hazard(node.args[0])
-                ):
-                    yield self.finding(
-                        module,
-                        node,
-                        "str.join over a set is order-dependent; " + message,
-                    )
+        names = set_names(module.tree)
+        for node, message in ordering_hazards(module.tree, names):
+            yield self.finding(module, node, message)

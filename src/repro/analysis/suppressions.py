@@ -6,7 +6,10 @@ Three forms are recognized:
   suppresses the listed rules on that line only;
 * next-line: a comment-only line suppresses the listed rules on the
   following source line (for statements too long to share a line with
-  the pragma);
+  the pragma). When the following lines are decorators, the pragma
+  skips past them to the ``def``/``class`` line itself, so a pragma
+  placed above a decorated definition suppresses findings anchored at
+  the definition (where rules report them), not at the decorator;
 * file-level: ``# repro-lint: disable-file=RL002 - reason`` anywhere in
   the file suppresses the rules for the whole file.
 
@@ -54,6 +57,29 @@ class Suppressions:
         return frozenset(used)
 
 
+def _skip_decorators(lines: List[str], target: int) -> int:
+    """Advance a next-line pragma target past decorator lines.
+
+    Findings on decorated defs anchor at the ``def`` line, so a pragma
+    above ``@decorator`` must reach past it. Decorator argument lists
+    may span lines; bracket depth tracks where each one ends. Falls
+    back to the original target for malformed input.
+    """
+    index = target
+    while index <= len(lines) and lines[index - 1].lstrip().startswith("@"):
+        depth = 0
+        while index <= len(lines):
+            code = lines[index - 1].split("#", 1)[0]
+            depth += (
+                code.count("(") + code.count("[") + code.count("{")
+                - code.count(")") - code.count("]") - code.count("}")
+            )
+            index += 1
+            if depth <= 0:
+                break
+    return index if index <= len(lines) else target
+
+
 def parse_suppressions(source: str) -> Suppressions:
     """Extract every pragma from raw source text."""
     suppressions = Suppressions()
@@ -72,7 +98,8 @@ def parse_suppressions(source: str) -> Suppressions:
             # Pragma shares the line with code: suppress this line.
             target = index
         else:
-            # Comment-only pragma: suppress the next line.
-            target = index + 1
+            # Comment-only pragma: suppress the next line (skipping any
+            # decorators so the pragma lands on the def itself).
+            target = _skip_decorators(lines, index + 1)
         suppressions.by_line.setdefault(target, set()).update(rules)
     return suppressions

@@ -1,0 +1,251 @@
+"""Direct-effect detection and fixed-point taint propagation."""
+
+import ast
+import textwrap
+
+from repro.analysis.callgraph import build_graph, summarize_module
+from repro.analysis.dataflow import (
+    DETERMINISM_KINDS,
+    EFFECT_KINDS,
+    EFFECT_RULES,
+    effects_to_json,
+    propagate,
+)
+from repro.analysis.registry import ModuleInfo
+
+
+def _mod(relpath: str, source: str) -> ModuleInfo:
+    source = textwrap.dedent(source)
+    return ModuleInfo(relpath=relpath, tree=ast.parse(source), source=source)
+
+
+def _effects(source: str, fn: str = "f") -> set:
+    summary = summarize_module(_mod("src/repro/m.py", source))
+    return {(e.kind, e.detail) for e in summary.functions[fn].effects}
+
+
+def _graph(**files: str):
+    summaries = {
+        relpath: summarize_module(_mod(relpath, source))
+        for relpath, source in files.items()
+    }
+    return build_graph(summaries)
+
+
+class TestLattice:
+    def test_determinism_kinds_are_a_subset(self):
+        assert set(DETERMINISM_KINDS) <= set(EFFECT_KINDS)
+        assert set(EFFECT_RULES) == set(DETERMINISM_KINDS)
+
+
+class TestDirectEffects:
+    def test_module_global_rng(self):
+        effects = _effects(
+            """
+            import random
+
+            def f():
+                return random.random()
+            """
+        )
+        assert ("rng", "random.random") in effects
+
+    def test_from_imported_rng_name(self):
+        effects = _effects(
+            """
+            from random import randint
+
+            def f():
+                return randint(0, 1)
+            """
+        )
+        assert ("rng", "randint") in effects
+
+    def test_seeded_generators_are_allowed(self):
+        effects = _effects(
+            """
+            import random
+            import numpy
+
+            def f(seed):
+                return random.Random(seed), numpy.random.default_rng(seed)
+            """
+        )
+        assert not {e for e in effects if e[0] == "rng"}
+
+    def test_wallclock_sources(self):
+        effects = _effects(
+            """
+            import time
+            from datetime import datetime
+
+            def f():
+                return time.monotonic(), datetime.now()
+            """
+        )
+        assert ("wallclock", "time.monotonic") in effects
+        assert ("wallclock", "datetime.now") in effects
+
+    def test_set_iteration(self):
+        effects = _effects(
+            """
+            def f(xs):
+                s = set(xs)
+                return [x for x in s]
+            """
+        )
+        assert any(kind == "set_iter" for kind, _ in effects)
+
+    def test_file_io_open_and_path_methods(self):
+        effects = _effects(
+            """
+            def f(path):
+                with open(path) as fh:
+                    data = fh.read()
+                return path.read_text(), data
+            """
+        )
+        assert ("file_io", "open()") in effects
+        assert ("file_io", ".read_text()") in effects
+
+    def test_global_mutation_effect(self):
+        summary = summarize_module(
+            _mod(
+                "src/repro/m.py",
+                """
+                _LOG = []
+
+                def f(x):
+                    _LOG.append(x)
+                """,
+            )
+        )
+        effects = summary.functions["f"].effects
+        assert [(e.kind, e.detail) for e in effects] == [
+            ("global_mut", "_LOG.append()")
+        ]
+
+    def test_pure_function_has_no_effects(self):
+        assert _effects("def f(x):\n    return x * 2\n") == set()
+
+
+class TestPropagation:
+    def test_taint_flows_up_the_call_chain(self):
+        graph = _graph(**{
+            "src/repro/a.py": """
+                from repro.b import jitter
+
+                def run():
+                    return jitter()
+            """,
+            "src/repro/b.py": """
+                import random
+
+                def jitter():
+                    return random.random()
+            """,
+        })
+        seeds = {
+            q: n.effects for q, n in graph.functions.items() if n.effects
+        }
+        taints = propagate(graph, seeds)
+        taint = taints["repro.a.run"]["rng"]
+        assert taint.chain == ("repro.a.run", "repro.b.jitter")
+        assert taint.source == "repro.b.jitter"
+        assert not taint.direct
+        assert taints["repro.b.jitter"]["rng"].direct
+
+    def test_shortest_chain_wins(self):
+        graph = _graph(**{
+            "src/repro/m.py": """
+                import random
+
+                def top():
+                    middle()
+                    source()
+
+                def middle():
+                    source()
+
+                def source():
+                    return random.random()
+            """,
+        })
+        seeds = {
+            q: n.effects for q, n in graph.functions.items() if n.effects
+        }
+        taints = propagate(graph, seeds)
+        # top reaches the source both directly and via middle; the
+        # shortest witness chain is reported.
+        assert taints["repro.m.top"]["rng"].chain == (
+            "repro.m.top",
+            "repro.m.source",
+        )
+
+    def test_propagation_is_deterministic(self):
+        files = {
+            "src/repro/m.py": """
+                import random
+
+                def a():
+                    z()
+
+                def b():
+                    z()
+
+                def z():
+                    return random.random()
+            """,
+        }
+        results = []
+        for _ in range(3):
+            graph = _graph(**files)
+            seeds = {
+                q: n.effects for q, n in graph.functions.items() if n.effects
+            }
+            taints = propagate(graph, seeds)
+            results.append(
+                {
+                    q: {k: t.chain for k, t in per.items()}
+                    for q, per in taints.items()
+                }
+            )
+        assert results[0] == results[1] == results[2]
+
+    def test_ref_edges_only_propagate_when_asked(self):
+        graph = _graph(**{
+            "src/repro/m.py": """
+                import random
+
+                def holder():
+                    callback = source
+
+                def source():
+                    return random.random()
+            """,
+        })
+        seeds = {
+            q: n.effects for q, n in graph.functions.items() if n.effects
+        }
+        assert "repro.m.holder" not in propagate(graph, seeds)
+        with_refs = propagate(graph, seeds, include_refs=True)
+        assert "repro.m.holder" in with_refs
+
+
+class TestGraphDump:
+    def test_effects_merged_into_graph_json(self):
+        graph = _graph(**{
+            "src/repro/m.py": """
+                import random
+
+                def f():
+                    return random.random()
+            """,
+        })
+        seeds = {
+            q: n.effects for q, n in graph.functions.items() if n.effects
+        }
+        dump = effects_to_json(graph, propagate(graph, seeds))
+        entry = dump["functions"]["repro.m.f"]
+        assert entry["effects"]["rng"]["detail"] == "random.random"
+        assert dump["stats"]["effectful_functions"] == 1

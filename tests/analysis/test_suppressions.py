@@ -78,3 +78,66 @@ class TestSuppressionEndToEnd:
             """
         )
         assert check_source(rule, source, CORE) == []
+
+
+class TestDecoratedDefs:
+    """Next-line pragmas must land on the ``def``, not the decorator.
+
+    Rules anchor findings at the function definition line; a pragma
+    written above the decorator stack still has to cover the def that
+    eventually follows, however many decorator lines intervene.
+    """
+
+    def test_pragma_above_single_decorator(self):
+        source = textwrap.dedent(
+            """\
+            # repro-lint: disable=RL004 - reviewed
+            @cached
+            def f(x):
+                return x == 0.5
+            """
+        )
+        sup = parse_suppressions(source)
+        assert sup.is_suppressed(_finding(3))  # the def line
+        assert not sup.is_suppressed(_finding(2))  # not the decorator
+
+    def test_pragma_above_stacked_decorators(self):
+        source = textwrap.dedent(
+            """\
+            # repro-lint: disable=RL004 - reviewed
+            @outer
+            @inner
+            @cached
+            def f(x):
+                return x == 0.5
+            """
+        )
+        assert parse_suppressions(source).is_suppressed(_finding(5))
+
+    def test_pragma_above_multiline_decorator_arguments(self):
+        source = textwrap.dedent(
+            """\
+            # repro-lint: disable=RL004 - reviewed
+            @parametrize(
+                "x",
+                [0.5, 1.0],
+            )
+            def f(x):
+                return x == 0.5
+            """
+        )
+        assert parse_suppressions(source).is_suppressed(_finding(6))
+
+    def test_multi_rule_comma_list_with_spaces_on_decorated_def(self):
+        source = textwrap.dedent(
+            """\
+            # repro-lint: disable=RL001, RL004 - rng + sentinel reviewed
+            @cached
+            def f(x):
+                return random() == x
+            """
+        )
+        sup = parse_suppressions(source)
+        assert sup.is_suppressed(_finding(3, "RL001"))
+        assert sup.is_suppressed(_finding(3, "RL004"))
+        assert not sup.is_suppressed(_finding(3, "RL002"))
