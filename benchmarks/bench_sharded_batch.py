@@ -1,0 +1,150 @@
+"""Benchmark: sharded multi-core batch execution vs one-process batch.
+
+Times the vectorized batch backend two ways on the same population --
+one in-process batch on a single core, and the same runs partitioned
+into lane-contiguous shards executed by persistent pool workers with
+shared-memory columnar dispatch (``run_specs_sharded``) -- plus the
+grid-level integration (``run_grid --shards``) on the full default
+evaluation grid. Correctness is anchored by unconditional bit-identity
+between every leg; the speedup gate (>= 2.5x at 4 workers) is asserted
+only on hosts that actually have >= 4 cores and at the default scale
+(on fewer cores the workers time-share and the gate is meaningless --
+same precedent as ``bench_parallel_grid``).
+"""
+
+import multiprocessing
+import os
+import time
+
+import pytest
+
+from conftest import write_result
+from repro.core.controller import FairnessParams
+from repro.engine.backend import SoeRunSpec, get_backend, numpy_available
+from repro.engine.soe import RunLimits, SoeParams
+from repro.experiments.runner import ExecutionSettings, run_grid
+from repro.experiments.sharding import run_specs_sharded
+from repro.workloads.materialize import columnize
+from repro.workloads.synthetic import uniform_stream
+
+pytestmark = pytest.mark.skipif(not numpy_available(), reason="needs numpy")
+
+_QUICK = os.environ.get("REPRO_BENCH_SCALE") == "quick"
+#: Spec-level population. The acceptance claim (>= 2.5x over the
+#: single-process batch at 4 workers) is made at the default scale on
+#: hosts with >= 4 cores; the quick preset smoke-tests the machinery.
+_BATCH_RUNS = 64 if _QUICK else 600
+_JOBS = 4
+_MIN_SPEEDUP = 2.5
+
+LIMITS = RunLimits(min_instructions=200_000.0, warmup_instructions=50_000.0)
+FAIRNESS = FairnessParams(
+    fairness_target=0.5, sample_period=50_000.0, miss_lat=300.0
+)
+
+
+def _gate_speedup() -> bool:
+    return multiprocessing.cpu_count() >= _JOBS and not _QUICK
+
+
+def _column_specs(count):
+    """Grid-shaped pair workloads, pre-columnized (same population
+    shape as ``bench_batch_engine``, the single-process reference)."""
+    specs = []
+    for index in range(count):
+        a = columnize(
+            uniform_stream(
+                800 / 300, 800, ipm_cv=0.8, ipc_cv=0.2, seed=index
+            ),
+            500,
+        )
+        b = columnize(
+            uniform_stream(
+                150 / 300, 150, ipm_cv=1.0, ipc_cv=0.3, seed=100_000 + index
+            ),
+            1_700,
+        )
+        specs.append(
+            SoeRunSpec(
+                streams=(a, b),
+                fairness=FAIRNESS,
+                params=SoeParams(),
+                limits=LIMITS,
+            )
+        )
+    return specs
+
+
+def test_sharded_specs_speedup(benchmark, results_dir):
+    specs = _column_specs(_BATCH_RUNS)
+    backend = get_backend("batch")
+
+    backend.run_batch(specs)  # warm: memoize the array conversion
+    start = time.perf_counter()
+    single = backend.run_batch(specs)
+    single_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = benchmark.pedantic(
+        lambda: run_specs_sharded(specs, jobs=_JOBS, shards=_JOBS),
+        rounds=1, iterations=1,
+    )
+    sharded_s = time.perf_counter() - start
+
+    assert sharded == single
+    speedup = single_s / sharded_s
+    gated = _gate_speedup()
+    write_result(
+        results_dir,
+        "sharded_batch",
+        "\n".join([
+            f"Sharded batch dispatch ({_BATCH_RUNS} pair runs, "
+            f"{_JOBS} shards / {_JOBS} pool workers)",
+            f"  single-process batch:  {single_s:8.3f} s",
+            f"  sharded (shm arenas):  {sharded_s:8.3f} s",
+            f"  speedup:               {speedup:8.2f}x on "
+            f"{multiprocessing.cpu_count()} core(s) "
+            f"(gate >= {_MIN_SPEEDUP:g}x: "
+            f"{'enforced' if gated else 'informative only'})",
+        ]),
+    )
+    if gated:
+        assert speedup >= _MIN_SPEEDUP
+
+
+def test_sharded_grid_end_to_end(benchmark, eval_config, results_dir):
+    """``run_grid --shards`` on the full default grid: identity always,
+    the multi-core speedup gate when the host can express it."""
+    start = time.perf_counter()
+    single = run_grid(
+        eval_config,
+        settings=ExecutionSettings(jobs=1, backend="batch", shards=1),
+    )
+    single_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    sharded = benchmark.pedantic(
+        lambda: run_grid(
+            eval_config,
+            settings=ExecutionSettings(
+                jobs=_JOBS, backend="batch", shards=_JOBS
+            ),
+        ),
+        rounds=1, iterations=1,
+    )
+    sharded_s = time.perf_counter() - start
+
+    assert sharded.results == single.results
+    previous = results_dir / "sharded_batch.txt"
+    base = previous.read_text().rstrip() + "\n\n" if previous.exists() else ""
+    write_result(
+        results_dir,
+        "sharded_batch",
+        base + "\n".join([
+            "Grid integration (--shards, full evaluation grid)",
+            f"  jobs=1 shards=1:       {single_s:8.3f} s",
+            f"  jobs={_JOBS} shards={_JOBS}:       {sharded_s:8.3f} s",
+            f"  wall ratio:            {single_s / sharded_s:8.2f}x on "
+            f"{multiprocessing.cpu_count()} core(s)",
+        ]),
+    )

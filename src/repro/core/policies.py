@@ -26,9 +26,12 @@ Built-in policies
 
 ``none`` and ``fairness`` are *batch capable*: :meth:`PolicyConfig
 .normalize` reduces them to the ``fairness`` field of a run spec, which
-the vectorized backend knows how to fold into arrays. The other
-policies are scalar-only and declare it via ``batch_capable=False``;
-the execution layer routes them to the scalar reference engine.
+the vectorized backend knows how to fold into arrays. ``drr-arbiter``
+is batch capable too -- it stays in the ``policy`` channel, but the
+vectorized backend folds its fixed-quantum deficit carryover into the
+same deficit-counter arrays. The other policies are scalar-only and
+declare it via ``batch_capable=False``; the execution layer routes
+them to the scalar reference engine.
 
 Discoverable from the command line via ``python -m repro policies``.
 """
@@ -306,7 +309,7 @@ register_policy(
         name="drr-arbiter",
         title="NoC-style deficit round robin over switch grants",
         reference="Shreedhar & Varghese, SIGCOMM 1995; Wang et al., NoC",
-        batch_capable=False,
+        batch_capable=True,
         params=(
             PolicyParam(
                 "quantum",

@@ -33,11 +33,14 @@ differential test suite enforces them.
 
 Supported configuration envelope (:meth:`BatchBackend.supports`): any
 thread count, any :class:`~repro.engine.soe.SoeParams` and
-:class:`~repro.engine.soe.RunLimits`, and fairness parameters within
-the paper's evaluation defaults (no smoothing, no deficit cap, no
-weights, no runtime latency measurement). Recorders and per-event trace
-sinks are scalar-only; the batch emits a single batch-level telemetry
-event instead.
+:class:`~repro.engine.soe.RunLimits`, fairness parameters within the
+paper's evaluation defaults (no smoothing, no deficit cap, no weights,
+no runtime latency measurement), and -- of the residual policy-zoo
+policies -- the ``drr-arbiter``, whose fixed-quantum deficit carryover
+rides the same deficit-counter arrays with a constant grant size and no
+boundary schedule. Recorders and per-event trace sinks are
+scalar-only; the batch emits a single batch-level telemetry event
+instead.
 """
 
 from __future__ import annotations
@@ -99,11 +102,16 @@ class BatchBackend:
     def supports(self, spec: SoeRunSpec) -> bool:
         if not HAVE_NUMPY:
             return False
-        if spec.policy is not None:
+        policy = spec.policy
+        if policy is not None:
             # Spec normalization folds batch-capable policy selections
-            # into ``fairness``; anything left here is scalar-only by
-            # its registry capability flag.
-            return False
+            # into ``fairness``; of the residual policy objects only
+            # the DRR arbiter is vectorized (its whole state is a
+            # deficit counter with a constant grant), so anything else
+            # here is scalar-only by its registry capability flag.
+            if policy.name != "drr-arbiter":
+                return False
+            return True
         fairness = spec.fairness
         if fairness is None:
             return True
@@ -123,8 +131,8 @@ class BatchBackend:
                     f"spec {index} is outside the batch backend's supported "
                     "configuration envelope (smoothing, deficit_cap, "
                     "weights, and measure_miss_latency must be defaults, "
-                    "and scalar-only policies are not vectorized); "
-                    "run it on the scalar backend"
+                    "and of the residual policies only drr-arbiter is "
+                    "vectorized); run it on the scalar backend"
                 )
         if not specs:
             return []
@@ -191,6 +199,22 @@ class _Batch:
         )
         self.min_quota = as_f([1.0 if f is None else f.min_quota for f in fairness])
 
+        # Residual policy runs: supports() admits only the DRR arbiter,
+        # whose state is the same deficit machinery with a constant
+        # grant -- the quota is pinned to the quantum from t=0 and
+        # (fairness is None, so the boundary schedule is infinite) no
+        # boundary ever re-sizes it. ``has_grant`` marks every run
+        # whose dispatches grant and whose retirements drain a deficit;
+        # the counter/estimate machinery stays controller-only.
+        policies = [s.policy for s in specs]
+        self.has_drr = np.asarray(
+            [p is not None for p in policies], dtype=bool
+        )
+        self.drr_quantum = as_f(
+            [0.0 if p is None else p.param("quantum") for p in policies]
+        )
+        self.has_grant = self.has_ctrl | self.has_drr
+
         # Engine clock and ledgers.
         self.now = np.zeros(n)
         self.idle = np.zeros(n)
@@ -226,6 +250,10 @@ class _Batch:
         self.cnt_miss = np.zeros(lanes, dtype=np.int64)
         self.deficit = np.zeros(lanes)
         self.quota = np.full(lanes, math.inf)
+        if self.has_drr.any():
+            self.quota[:] = np.repeat(
+                np.where(self.has_drr, self.drr_quantum, math.inf), t
+            )
         self.est_ipm = np.zeros(lanes)
         self.est_cpm = np.zeros(lanes)
         self.est_ipc = np.zeros(lanes)
@@ -262,6 +290,7 @@ class _Batch:
         # never has a boundary to fire.
         self._all_ctrl = bool(self.has_ctrl.all())
         self._any_ctrl = bool(self.has_ctrl.any())
+        self._all_grant = bool(self.has_grant.all())
         self._has_cap = bool(np.isfinite(self.max_cycles).any())
         self._all_snapped = bool(self.snap_taken.all())
 
@@ -666,12 +695,12 @@ class _Batch:
             # were fixed above.
             self._elapse_span(runs, spans, idle=~any_ready)
             if dispatch.size:
-                if self._all_ctrl:
+                if self._all_grant:
                     self._grant(lanes)
                 else:
-                    ctrl = self.has_ctrl[dispatch]
-                    if ctrl.any():
-                        self._grant(lanes[ctrl])
+                    grants = self.has_grant[dispatch]
+                    if grants.any():
+                        self._grant(lanes[grants])
                 self.state[dispatch] = _RUN
                 dispatched.append(dispatch)
             if idlers.size == 0:
@@ -767,11 +796,11 @@ class _Batch:
         t_segment = np.maximum(
             self.seg_cycles[lanes] - self.seg_done_cycles[lanes], 0.0
         )
-        if self._all_ctrl:
+        if self._all_grant:
             budget = self.deficit[lanes]
         else:
             budget = np.where(
-                self.has_ctrl[runs], self.deficit[lanes], math.inf
+                self.has_grant[runs], self.deficit[lanes], math.inf
             )
         t_instr = budget / ipc
         t_cycle = np.maximum(
@@ -831,9 +860,11 @@ class _Batch:
         self.run_cycles[lanes] += dt
         self.dispatch_cycles[runs] += dt
         self.now[runs] += dt
-        # Policy retirement callbacks: hardware counters accumulate and
-        # the deficit counter is consumed (clamped at zero; an infinite
-        # deficit never shrinks).
+        # Policy retirement callbacks. Counter accumulation is the
+        # fairness controller's alone; the deficit consume (clamped at
+        # zero; an infinite deficit never shrinks) is shared by the
+        # controller and the DRR arbiter, whose on_retired is exactly
+        # this consume with no counters.
         if self._all_ctrl:
             c_lanes, c_retired, c_dt = lanes, retired, dt
         else:
@@ -843,11 +874,18 @@ class _Batch:
         if c_lanes.size:
             self.cnt_instr[c_lanes] += c_retired
             self.cnt_cycles[c_lanes] += c_dt
-            deficit = self.deficit[c_lanes]
-            self.deficit[c_lanes] = np.where(
+        if self._all_grant:
+            g_lanes, g_retired = lanes, retired
+        else:
+            grants = self.has_grant[runs]
+            g_lanes = lanes[grants] if not grants.all() else lanes
+            g_retired = retired[grants]
+        if g_lanes.size:
+            deficit = self.deficit[g_lanes]
+            self.deficit[g_lanes] = np.where(
                 np.isinf(deficit),
                 deficit,
-                np.maximum(0.0, deficit - c_retired),
+                np.maximum(0.0, deficit - g_retired),
             )
         self._fire_due_boundaries(runs)
 

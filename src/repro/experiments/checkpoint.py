@@ -12,6 +12,7 @@ Format (schema-versioned, documented in ``docs/ROBUSTNESS.md``)::
     {"v": 1, "kind": "header", "fingerprint": "...", "code_version": "..."}
     {"v": 1, "kind": "task", "task": "st",  "key": "...", "data": "<b64>"}
     {"v": 1, "kind": "task", "task": "soe", "key": "...", "data": "<b64>"}
+    {"v": 1, "kind": "note", "note": {...}}
 
 * ``fingerprint`` pins the exact computation (config fields, pair list,
   simulator code version); resuming under a different fingerprint is a
@@ -19,9 +20,16 @@ Format (schema-versioned, documented in ``docs/ROBUSTNESS.md``)::
 * ``key`` content-addresses one task spec (same idea as the result
   cache); ``data`` is the base64 pickle of the task's result, so floats
   round-trip exactly and resumed grids stay bit-identical.
+* ``note`` lines are informational annotations (e.g. the shard-plan
+  digest a sharded run executed under); the loader collects them but
+  they never gate resume -- a journal written at one shard count must
+  resume at any other.
 * Writes are crash-safe by construction: each record is a single
-  ``O_APPEND`` ``os.write`` followed by ``fsync``, so a torn line can
-  only ever be the last one -- and the loader tolerates exactly that.
+  ``O_APPEND`` ``os.write`` followed by ``fsync``; a group commit
+  (:meth:`CheckpointWriter.record_many`, ``--checkpoint-sync shard``)
+  joins many complete lines into that one write. Either way a torn
+  line can only ever be the last one -- and the loader tolerates
+  exactly that.
 """
 
 from __future__ import annotations
@@ -67,6 +75,8 @@ class CheckpointState:
     header: dict
     #: task key -> unpickled task result
     tasks: dict = field(default_factory=dict)
+    #: informational "note" line payloads, in journal order
+    notes: list = field(default_factory=list)
 
     @property
     def fingerprint(self) -> str:
@@ -114,6 +124,9 @@ def load_checkpoint(path: Union[str, Path]) -> CheckpointState:
                         "be the header"
                     )
                 state = CheckpointState(header=obj)
+                continue
+            if kind == "note":
+                state.notes.append(obj.get("note", {}))
                 continue
             if kind != "task":
                 raise ConfigurationError(
@@ -176,23 +189,57 @@ class CheckpointWriter:
                 }
             )
 
-    def _write_line(self, obj: dict) -> None:
+    def _write_lines(self, objs: list) -> None:
         if self._fd is None:
             raise ConfigurationError("checkpoint writer is closed")
-        line = json.dumps(obj, separators=(",", ":"), sort_keys=True)
-        os.write(self._fd, line.encode("utf-8") + b"\n")
+        payload = b"".join(
+            json.dumps(obj, separators=(",", ":"), sort_keys=True).encode(
+                "utf-8"
+            )
+            + b"\n"
+            for obj in objs
+        )
+        # One O_APPEND write + one fsync, whether this commits one line
+        # or a whole shard's worth: every line but possibly the file's
+        # final one is complete on disk, which is exactly the torn-line
+        # tolerance the loader grants.
+        os.write(self._fd, payload)
         os.fsync(self._fd)
+
+    def _write_line(self, obj: dict) -> None:
+        self._write_lines([obj])
+
+    @staticmethod
+    def _task_line(task_kind: str, key: str, payload: object) -> dict:
+        return {
+            "v": CHECKPOINT_VERSION,
+            "kind": "task",
+            "task": task_kind,
+            "key": key,
+            "data": base64.b64encode(pickle.dumps(payload)).decode("ascii"),
+        }
 
     def record(self, task_kind: str, key: str, payload: object) -> None:
         """Journal one completed task result (atomic, durable)."""
+        self._write_line(self._task_line(task_kind, key, payload))
+
+    def record_many(self, records: list) -> None:
+        """Group-commit ``(task_kind, key, payload)`` records.
+
+        All lines land in one append and one fsync -- the per-record
+        durability cost amortizes over the group (e.g. one shard's
+        completed runs) without weakening the crash contract.
+        """
+        if not records:
+            return
+        self._write_lines(
+            [self._task_line(kind, key, value) for kind, key, value in records]
+        )
+
+    def note(self, payload: dict) -> None:
+        """Journal an informational note line (never gates resume)."""
         self._write_line(
-            {
-                "v": CHECKPOINT_VERSION,
-                "kind": "task",
-                "task": task_kind,
-                "key": key,
-                "data": base64.b64encode(pickle.dumps(payload)).decode("ascii"),
-            }
+            {"v": CHECKPOINT_VERSION, "kind": "note", "note": payload}
         )
 
     def close(self) -> None:

@@ -59,10 +59,13 @@ from repro.errors import (
     ConfigurationError,
     GridExecutionError,
     GridInterrupted,
+    SimulationError,
 )
 from repro.experiments.checkpoint import CheckpointWriter, load_checkpoint, task_key
 from repro.experiments.common import EvalConfig, PairResult
+from repro.experiments.sharding import plan_shards, resolve_shard_count
 from repro.experiments.supervisor import (
+    SupervisedRun,
     SupervisionPolicy,
     Supervisor,
     TaskFailure,
@@ -70,7 +73,12 @@ from repro.experiments.supervisor import (
 )
 from repro.telemetry import RUNNER as _TRACE_RUNNER
 from repro.telemetry import current_sink
-from repro.telemetry.events import cache_event, checkpoint_event, task_event
+from repro.telemetry.events import (
+    cache_event,
+    checkpoint_event,
+    shard_event,
+    task_event,
+)
 from repro.telemetry.profile import PROFILE, WorkerProfile, merge_latest
 from repro.workloads.pairs import BenchmarkPair, evaluation_pairs
 from repro.workloads.spec2000 import get_profile
@@ -149,6 +157,11 @@ def code_version() -> str:
 #: partial outcome), ``degrade`` returns whatever completed.
 ON_FAILURE_MODES = ("abort", "degrade")
 
+#: Legal ``checkpoint_sync`` policies: ``every`` fsyncs per record,
+#: ``shard`` group-commits a shard's (or in-process batch's) records in
+#: one write + one fsync.
+CHECKPOINT_SYNC_MODES = ("every", "shard")
+
 
 @dataclass(frozen=True)
 class ExecutionSettings:
@@ -171,6 +184,18 @@ class ExecutionSettings:
     vectorizes supported SOE tasks in-process with numpy (supervision,
     timeouts and fault injection do not apply to the batched portion);
     ``"auto"`` uses the vectorized backend when numpy is installed.
+
+    ``shards`` splits the vectorized portion across persistent pool
+    workers (:mod:`repro.experiments.sharding`): an integer fixes the
+    shard count, ``"auto"`` sizes it from ``jobs`` and the batch (and
+    falls back to the in-process batch when sharding cannot pay for
+    itself). Sharded execution is supervised -- timeouts, retries, and
+    fault injection apply per shard, and a shard the pool cannot
+    complete falls back to scalar supervised tasks -- and results stay
+    bit-identical at every shard count. ``checkpoint_sync`` picks the
+    journal durability granularity: ``"every"`` fsyncs per task record,
+    ``"shard"`` group-commits each completed shard's records with a
+    single fsync.
     """
 
     jobs: int = 1
@@ -181,6 +206,8 @@ class ExecutionSettings:
     checkpoint: Optional[Path] = None
     resume: bool = False
     backend: str = "scalar"
+    shards: Union[int, str] = 1
+    checkpoint_sync: str = "every"
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
@@ -189,6 +216,19 @@ class ExecutionSettings:
             raise ConfigurationError(
                 f"backend must be one of {BACKEND_NAMES}, "
                 f"got {self.backend!r}"
+            )
+        if isinstance(self.shards, str):
+            if self.shards != "auto":
+                raise ConfigurationError(
+                    "shards must be 'auto' or a positive integer, "
+                    f"got {self.shards!r}"
+                )
+        elif self.shards < 1:
+            raise ConfigurationError("shards must be >= 1")
+        if self.checkpoint_sync not in CHECKPOINT_SYNC_MODES:
+            raise ConfigurationError(
+                f"checkpoint_sync must be one of {CHECKPOINT_SYNC_MODES}, "
+                f"got {self.checkpoint_sync!r}"
             )
         if self.cache_dir is not None and not isinstance(self.cache_dir, Path):
             object.__setattr__(self, "cache_dir", Path(self.cache_dir))
@@ -243,6 +283,8 @@ def _task_descriptor(item: object) -> tuple[str, str]:
         return "single_thread", f"{item.benchmark}@s{item.stream_seed}"
     if isinstance(item, _SoeTask):
         return "soe_pair", f"{item.pair.label}@F{item.level:g}"
+    if isinstance(item, _ShardTask):
+        return "shard", f"shard{item.shard}/{item.shards}"
     return "task", type(item).__name__
 
 
@@ -468,6 +510,30 @@ def _run_grid_task(task: Union[_StTask, _SoeTask]) -> object:
     if isinstance(task, _StTask):
         return _run_st_task(task)
     return _run_soe_task(task)
+
+
+@dataclass(frozen=True)
+class _ShardTask:
+    """One lane-contiguous shard of batch-supported SOE tasks.
+
+    Dispatch ships the compact :class:`_SoeTask` descriptors, not the
+    segment data: the pool worker re-derives each run's streams from
+    the config seed and executes the whole shard on the vectorized
+    backend. Besides keeping the pickles tiny, that parallelizes the
+    Python-heavy stream materialization itself -- the dominant cost of
+    a columnar batch -- across cores.
+    """
+
+    shard: int
+    shards: int
+    tasks: tuple
+
+
+def _run_shard_task(task: _ShardTask) -> list:
+    """Pool-worker body: one shard of runs as one vectorized batch,
+    results in shard-local order."""
+    specs = [_soe_run_spec(member) for member in task.tasks]
+    return get_backend("batch").run_batch(specs)
 
 
 def single_thread_ipcs(
@@ -758,6 +824,30 @@ def _grid_fingerprint(
     return hashlib.sha256(repr(fingerprint).encode()).hexdigest()[:32]
 
 
+def _journal_records(
+    writer: Optional[CheckpointWriter],
+    sink: object,
+    settings: ExecutionSettings,
+    records: list,
+) -> None:
+    """Write task records honoring the ``checkpoint_sync`` policy."""
+    if writer is None or not records:
+        return
+    if settings.checkpoint_sync == "shard":
+        writer.record_many(records)
+        if sink.wants(_TRACE_RUNNER):
+            sink.emit(
+                checkpoint_event(
+                    "write", len(records), str(settings.checkpoint)
+                )
+            )
+        return
+    for kind, key, value in records:
+        writer.record(kind, key, value)
+        if sink.wants(_TRACE_RUNNER):
+            sink.emit(checkpoint_event("write", 1, str(settings.checkpoint)))
+
+
 def run_grid(
     config: EvalConfig = EvalConfig(),
     pairs: Optional[Sequence[BenchmarkPair]] = None,
@@ -866,42 +956,134 @@ def run_grid(
             ]
 
             # Vectorized pre-pass: with a non-scalar backend, supported
-            # SOE tasks run in-process as one array-advanced batch. The
-            # remainder (ST baselines plus any SOE task outside the
-            # backend's envelope) goes through the supervised executor
-            # unchanged. Batched results are validated and journaled
-            # exactly like supervised ones; supervision itself
-            # (timeouts, retries, fault injection) does not apply to
-            # the in-process batch.
+            # SOE tasks run as array-advanced batches -- in-process as
+            # one batch, or (``shards``) partitioned across persistent
+            # supervised pool workers and merged in global-index order;
+            # the batch-no-coupling property keeps both bit-identical
+            # to each other and to the scalar reference. The remainder
+            # (ST baselines, SOE tasks outside the backend's envelope,
+            # and any shard the pool could not complete) goes through
+            # the supervised executor unchanged. Batched results are
+            # validated and journaled exactly like supervised ones;
+            # per-task supervision (timeouts, retries, fault injection)
+            # applies per *shard* when sharded and not at all to the
+            # in-process batch.
             backend = get_backend(settings.backend)
+            shard_interrupted = False
+            shard_retries = 0
             if backend.name != "scalar" and to_run:
                 batched: list[int] = []
                 batch_specs: list[SoeRunSpec] = []
+                batch_tasks: list[_SoeTask] = []
                 for position, spec in to_run:
                     if isinstance(spec, _SoeTask):
                         run_spec = _soe_run_spec(spec)
                         if backend.supports(run_spec):
                             batched.append(position)
                             batch_specs.append(run_spec)
-                if batch_specs:
+                            batch_tasks.append(spec)
+                shards = (
+                    resolve_shard_count(
+                        settings.shards,
+                        jobs=settings.jobs,
+                        total=len(batch_specs),
+                    )
+                    if batch_specs
+                    else 1
+                )
+                if batch_specs and shards <= 1:
+                    records: list = []
                     for position, value in zip(
                         batched, backend.run_batch(batch_specs)
                     ):
                         check_invariants(value)
                         task_values[position] = value
-                        if writer is not None:
-                            writer.record("soe", keys[position], value)
-                            if sink.wants(_TRACE_RUNNER):
-                                sink.emit(
-                                    checkpoint_event(
-                                        "write", 1, str(settings.checkpoint)
-                                    )
-                                )
-                    to_run = [
-                        (position, spec)
-                        for position, spec in to_run
-                        if position not in task_values
+                        records.append(("soe", keys[position], value))
+                    _journal_records(writer, sink, settings, records)
+                elif batch_specs:
+                    plan = plan_shards(len(batch_specs), shards)
+                    if writer is not None:
+                        writer.note(
+                            {
+                                "shard_plan": plan.digest(),
+                                "shards": plan.num_shards,
+                                "runs": plan.total,
+                            }
+                        )
+                    shard_tasks = [
+                        (
+                            shard,
+                            _ShardTask(
+                                shard=shard,
+                                shards=plan.num_shards,
+                                tasks=tuple(
+                                    batch_tasks[offset]
+                                    for offset in plan.positions(shard)
+                                ),
+                            ),
+                        )
+                        for shard in range(plan.num_shards)
                     ]
+
+                    def _on_shard(
+                        shard: int, item: object, payload: object
+                    ) -> None:
+                        values = list(payload)
+                        positions = plan.positions(shard)
+                        if len(values) != len(positions):
+                            raise SimulationError(
+                                f"shard {shard} returned {len(values)} "
+                                f"results for {len(positions)} runs"
+                            )
+                        records = []
+                        for offset, value in zip(positions, values):
+                            position = batched[offset]
+                            task_values[position] = value
+                            records.append(("soe", keys[position], value))
+                        _journal_records(writer, sink, settings, records)
+                        if sink.wants(_TRACE_RUNNER):
+                            sink.emit(
+                                shard_event(
+                                    "stop",
+                                    shard,
+                                    plan.num_shards,
+                                    len(values),
+                                    "batch",
+                                )
+                            )
+
+                    if sink.wants(_TRACE_RUNNER):
+                        for shard, task in shard_tasks:
+                            sink.emit(
+                                shard_event(
+                                    "start",
+                                    shard,
+                                    plan.num_shards,
+                                    len(task.tasks),
+                                    "batch",
+                                )
+                            )
+                    shard_run = Supervisor(
+                        _run_shard_task,
+                        shard_tasks,
+                        jobs=min(settings.jobs, plan.num_shards),
+                        policy=settings.policy,
+                        descriptor=_task_descriptor,
+                        validate=check_invariants,
+                        on_result=_on_shard,
+                        pool=True,
+                    ).run()
+                    # A failed shard leaves its positions unfilled;
+                    # they flow to the scalar supervised remainder
+                    # below, which owns the authoritative per-task
+                    # failure manifest.
+                    shard_interrupted = shard_run.interrupted
+                    shard_retries = shard_run.retries
+                to_run = [
+                    (position, spec)
+                    for position, spec in to_run
+                    if position not in task_values
+                ]
 
             traced = sink.enabled
             call: Callable = (
@@ -913,26 +1095,40 @@ def run_grid(
                 value = _unwrap(payload)
                 payloads.append(payload)
                 task_values[position] = value
-                if writer is not None:
-                    kind = "st" if isinstance(item, _StTask) else "soe"
-                    writer.record(kind, keys[position], value)
-                    if sink.wants(_TRACE_RUNNER):
-                        sink.emit(
-                            checkpoint_event(
-                                "write", 1, str(settings.checkpoint)
-                            )
+                _journal_records(
+                    writer,
+                    sink,
+                    settings,
+                    [
+                        (
+                            "st" if isinstance(item, _StTask) else "soe",
+                            keys[position],
+                            value,
                         )
+                    ],
+                )
 
-            supervisor = Supervisor(
-                call,
-                to_run,
-                jobs=min(settings.jobs, max(len(to_run), 1)),
-                policy=settings.policy,
-                descriptor=_task_descriptor,
-                validate=_validate_payload,
-                on_result=_on_result,
-            )
-            run = supervisor.run()
+            if shard_interrupted:
+                # The shard phase drained on a signal: honor it -- do
+                # not start a second supervised phase for the rest.
+                run = SupervisedRun(
+                    results={},
+                    failures=[],
+                    skipped=[position for position, _ in to_run],
+                    interrupted=True,
+                )
+            else:
+                supervisor = Supervisor(
+                    call,
+                    to_run,
+                    jobs=min(settings.jobs, max(len(to_run), 1)),
+                    policy=settings.policy,
+                    descriptor=_task_descriptor,
+                    validate=_validate_payload,
+                    on_result=_on_result,
+                )
+                run = supervisor.run()
+            run.retries += shard_retries
         finally:
             if writer is not None:
                 writer.close()

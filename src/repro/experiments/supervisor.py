@@ -33,6 +33,25 @@ function of its spec, and the supervisor only decides *whether* and
 *when* a task runs -- never what it computes -- so any schedule
 (including one with retries) yields bit-identical results.
 
+Two isolation modes share the watching machinery:
+
+* **process-per-task** (the default) -- every attempt gets a fresh
+  process, so import/startup cost is paid per task but nothing leaks
+  between attempts;
+* **persistent pool** (``pool=True``) -- long-lived workers import once
+  and serve many tasks over the same pipe, which is what the sharded
+  batch dispatch wants (a shard is seconds of work; a fresh interpreter
+  per shard would dominate). Supervision is unchanged: a worker that
+  crashes, hangs past the task timeout, or reports garbage is killed
+  and **respawned**, and the task it held is retried under the same
+  deterministic accounting as the per-task path.
+
+Either way, worker messages travel as length-prefixed frames (one
+``send_bytes`` of a ``pickle.HIGHEST_PROTOCOL`` payload), so a reader
+observes either a complete message or a torn frame -- and a torn frame
+raises immediately (``OSError``/``EOFError``), classifying as a
+:class:`~repro.errors.WorkerCrash` instead of hanging the supervisor.
+
 This module is wall-clock exempt (RL002) alongside the runner: its
 clocks bound supervision (timeouts, liveness polling) and never feed
 simulation results.
@@ -44,13 +63,14 @@ import math
 import multiprocessing
 import multiprocessing.connection
 import os
+import pickle
 import signal
 import threading
 import time
 import traceback
 from collections import deque
 from dataclasses import dataclass, fields, is_dataclass
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, List, Optional, Sequence, Tuple, Union
 
 from repro import faults
 from repro.errors import (
@@ -173,6 +193,33 @@ def _default_descriptor(item: object) -> Tuple[str, str]:
     return "task", type(item).__name__
 
 
+def _send_frame(
+    conn: multiprocessing.connection.Connection, message: object
+) -> None:
+    """Write one length-prefixed message frame.
+
+    ``send_bytes`` prefixes the payload with its size, so the reader
+    either receives the complete pickle or fails loudly mid-frame; the
+    payload itself is serialized once with ``pickle.HIGHEST_PROTOCOL``
+    (the default ``Connection.send`` re-pickles at the legacy default
+    protocol, which is markedly slower for the array-heavy results the
+    sharded batch path returns).
+    """
+    conn.send_bytes(pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL))
+
+
+def _recv_frame(conn: multiprocessing.connection.Connection) -> object:
+    """Read one framed message; raises ``EOFError`` on a clean close
+    and ``OSError`` on a frame torn by a mid-write crash."""
+    return pickle.loads(conn.recv_bytes())
+
+
+#: Worker-message failures that classify as a crash: a clean EOF (the
+#: worker died before writing), a torn frame (it died mid-write), or a
+#: frame whose bytes do not decode (it died scribbling).
+_FRAME_ERRORS = (EOFError, OSError, pickle.UnpicklingError)
+
+
 def _child_main(
     conn: multiprocessing.connection.Connection,
     call: Callable,
@@ -194,17 +241,18 @@ def _child_main(
         plan = faults.current_plan()
         plan.on_task_start(index, attempt)
         result = plan.mutate_result(index, attempt, call(item))
-        conn.send(("ok", result))
+        _send_frame(conn, ("ok", result))
     except BaseException as error:  # the parent does the classifying
         status = 1
         try:
-            conn.send(
+            _send_frame(
+                conn,
                 (
                     "error",
                     classify_failure(error),
                     f"{type(error).__name__}: {error}",
                     traceback.format_exc(),
-                )
+                ),
             )
         except (OSError, ValueError):  # parent gone / pipe closed
             pass
@@ -213,6 +261,50 @@ def _child_main(
             conn.close()
         finally:
             os._exit(status)
+
+
+def _pool_worker_main(
+    conn: multiprocessing.connection.Connection, call: Callable
+) -> None:
+    """Entry point of one persistent pool worker.
+
+    Serves ``(index, attempt, item)`` request frames until the parent
+    sends the ``None`` shutdown frame (or closes the pipe), answering
+    each with the same one-message protocol as :func:`_child_main`.
+    The fault-plan hooks run per served task, so an injected crash or
+    hang fires inside the pool worker exactly as it would in a
+    process-per-task child -- the parent detects the dead/stuck worker,
+    respawns it, and retries the task it held.
+    """
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    while True:
+        try:
+            request = _recv_frame(conn)
+        except _FRAME_ERRORS:  # parent gone; nothing left to serve
+            os._exit(0)
+        if request is None:
+            break
+        index, attempt, item = request
+        try:
+            plan = faults.current_plan()
+            plan.on_task_start(index, attempt)
+            result = plan.mutate_result(index, attempt, call(item))
+            message: tuple = ("ok", result)
+        except BaseException as error:  # the parent does the classifying
+            message = (
+                "error",
+                classify_failure(error),
+                f"{type(error).__name__}: {error}",
+                traceback.format_exc(),
+            )
+        try:
+            _send_frame(conn, message)
+        except (OSError, ValueError):  # parent gone / pipe closed
+            os._exit(1)
+    try:
+        conn.close()
+    finally:
+        os._exit(0)
 
 
 @dataclass
@@ -227,6 +319,34 @@ class _Running:
     deadline: Optional[float]
 
 
+@dataclass
+class _PoolWorker:
+    """One persistent pool worker and the task it currently holds.
+
+    ``index``/``item``/``attempt``/``deadline`` mirror :class:`_Running`
+    while a task is in flight (the retry accounting reads them through
+    the same duck-typed surface) and are cleared when the worker goes
+    idle.
+    """
+
+    process: multiprocessing.Process
+    conn: multiprocessing.connection.Connection
+    index: int = -1
+    item: object = None
+    attempt: int = 0
+    deadline: Optional[float] = None
+
+    @property
+    def busy(self) -> bool:
+        return self.attempt > 0
+
+    def clear(self) -> None:
+        self.index = -1
+        self.item = None
+        self.attempt = 0
+        self.deadline = None
+
+
 class Supervisor:
     """Runs indexed tasks under a :class:`SupervisionPolicy`.
 
@@ -239,6 +359,9 @@ class Supervisor:
     concurrency, a timeout, or an active process-level fault plan
     demands it, and inline (zero overhead, exceptions classified but
     never retried -- pure tasks fail deterministically) otherwise.
+    ``pool=True`` swaps the per-task processes for persistent workers
+    that serve many tasks each (crashed or hung workers are respawned);
+    it changes only *where* a task runs, never what it computes.
     """
 
     def __init__(
@@ -251,6 +374,7 @@ class Supervisor:
         descriptor: Callable[[object], Tuple[str, str]] = _default_descriptor,
         validate: Callable[[object], None] = check_invariants,
         on_result: Optional[Callable[[int, object, object], None]] = None,
+        pool: bool = False,
     ) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be a positive process count")
@@ -261,6 +385,7 @@ class Supervisor:
         self._descriptor = descriptor
         self._validate = validate
         self._on_result = on_result
+        self._pool = pool
         self._drain = False
         self._hard_abort = False
         self._signals = 0
@@ -294,7 +419,9 @@ class Supervisor:
         )
         installed = self._install_signal_handlers()
         try:
-            if use_processes:
+            if use_processes and self._pool:
+                self._run_pool(run)
+            elif use_processes:
                 self._run_isolated(run)
             else:
                 self._run_inline(run)
@@ -439,8 +566,8 @@ class Supervisor:
         self, run: SupervisedRun, pending: deque, task: _Running
     ) -> None:
         try:
-            message = task.conn.recv()
-        except (EOFError, OSError):
+            message = _recv_frame(task.conn)
+        except _FRAME_ERRORS:
             message = None
         task.conn.close()
         task.process.join()
@@ -456,6 +583,16 @@ class Supervisor:
                 ),
             )
             return
+        self._handle_message(run, pending, task, message)
+
+    def _handle_message(
+        self,
+        run: SupervisedRun,
+        pending: deque,
+        task: Union[_Running, _PoolWorker],
+        message: tuple,
+    ) -> None:
+        """Accept / retry / fail from one complete worker message."""
         if message[0] == "ok":
             result = message[1]
             try:
@@ -470,7 +607,7 @@ class Supervisor:
         _tag, reason, text, _trace = message
         self._retry_or_fail(run, pending, task, reason=reason, message=text)
 
-    def _kill(self, task: _Running) -> None:
+    def _kill(self, task: Union[_Running, _PoolWorker]) -> None:
         task.conn.close()
         process = task.process
         if process.is_alive():
@@ -481,6 +618,185 @@ class Supervisor:
                 process.join()
         else:
             process.join()
+
+    # -- persistent pool mode --------------------------------------------
+
+    def _spawn_worker(self) -> _PoolWorker:
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+        process = multiprocessing.Process(
+            target=_pool_worker_main,
+            args=(child_conn, self._call),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _PoolWorker(process=process, conn=parent_conn)
+
+    def _assign(
+        self,
+        run: SupervisedRun,
+        pending: deque,
+        workers: List[_PoolWorker],
+        worker: _PoolWorker,
+        index: int,
+        item: object,
+        attempt: int,
+    ) -> None:
+        worker.index = index
+        worker.item = item
+        worker.attempt = attempt
+        worker.deadline = (
+            time.monotonic() + self._policy.task_timeout
+            if self._policy.task_timeout is not None
+            else None
+        )
+        try:
+            _send_frame(worker.conn, (index, attempt, item))
+        except (OSError, ValueError):
+            # The worker died between tasks; this attempt never started,
+            # but counting it keeps the retry budget a hard bound.
+            self._retire_worker(workers, worker)
+            self._retry_or_fail(
+                run,
+                pending,
+                worker,
+                reason="crash",
+                message="pool worker died before accepting the task",
+            )
+
+    def _retire_worker(
+        self, workers: List[_PoolWorker], worker: _PoolWorker
+    ) -> None:
+        """Kill a worker and drop it from the pool (a replacement is
+        spawned by the next scheduling pass if work remains)."""
+        self._kill(worker)
+        if worker in workers:
+            workers.remove(worker)
+
+    def _shutdown_worker(self, worker: _PoolWorker) -> None:
+        """Graceful stop of an idle worker: shutdown frame, then reap."""
+        try:
+            _send_frame(worker.conn, None)
+        except (OSError, ValueError):
+            pass
+        self._kill(worker)
+
+    def _run_pool(self, run: SupervisedRun) -> None:
+        pending: deque = deque(
+            (index, item, 1) for index, item in self._tasks
+        )
+        workers: List[_PoolWorker] = []
+        try:
+            while pending or any(worker.busy for worker in workers):
+                if self._hard_abort:
+                    for worker in list(workers):
+                        if worker.busy:
+                            self._record_failure(
+                                run,
+                                worker.index,
+                                worker.item,
+                                attempt=worker.attempt,
+                                reason="crash",
+                                message="killed by repeated interrupt",
+                            )
+                        self._retire_worker(workers, worker)
+                    self._drain = True
+                if not self._drain:
+                    wanted = min(
+                        self._jobs,
+                        len(pending)
+                        + sum(1 for worker in workers if worker.busy),
+                    )
+                    while len(workers) < wanted:
+                        workers.append(self._spawn_worker())
+                    for worker in list(workers):
+                        if pending and not worker.busy:
+                            self._assign(
+                                run, pending, workers, worker,
+                                *pending.popleft()
+                            )
+                busy = [worker for worker in workers if worker.busy]
+                if not busy:
+                    if self._drain or not pending:
+                        break
+                    continue
+                self._poll_pool(run, busy, pending, workers)
+            while pending:
+                index, _item, _attempt = pending.popleft()
+                run.skipped.append(index)
+            run.skipped.sort()
+        finally:
+            for worker in list(workers):
+                self._shutdown_worker(worker)
+            workers.clear()
+
+    def _poll_pool(
+        self,
+        run: SupervisedRun,
+        busy: List[_PoolWorker],
+        pending: deque,
+        workers: List[_PoolWorker],
+    ) -> None:
+        wait_for = _POLL_SECONDS
+        now = time.monotonic()
+        for worker in busy:
+            if worker.deadline is not None:
+                wait_for = min(wait_for, max(worker.deadline - now, 0.0))
+        try:
+            ready = multiprocessing.connection.wait(
+                [worker.conn for worker in busy], timeout=wait_for
+            )
+        except InterruptedError:  # pragma: no cover - signal during wait
+            ready = []
+        now = time.monotonic()
+        for worker in busy:
+            if worker.conn in ready:
+                self._collect_pool(run, pending, workers, worker)
+            elif worker.deadline is not None and now >= worker.deadline:
+                self._retire_worker(workers, worker)
+                self._retry_or_fail(
+                    run,
+                    pending,
+                    worker,
+                    reason="timeout",
+                    message=(
+                        f"attempt {worker.attempt} exceeded the "
+                        f"{self._policy.task_timeout:g}s task timeout"
+                    ),
+                )
+            elif not worker.process.is_alive():
+                # Died between wait() and this check; a buffered result
+                # frame is still collectable, so collect-first (only an
+                # empty, closed pipe is the crash signal).
+                self._collect_pool(run, pending, workers, worker)
+
+    def _collect_pool(
+        self,
+        run: SupervisedRun,
+        pending: deque,
+        workers: List[_PoolWorker],
+        worker: _PoolWorker,
+    ) -> None:
+        try:
+            message = _recv_frame(worker.conn)
+        except _FRAME_ERRORS:
+            message = None
+        if message is None:
+            exitcode = worker.process.exitcode
+            self._retire_worker(workers, worker)
+            self._retry_or_fail(
+                run,
+                pending,
+                worker,
+                reason="crash",
+                message=(
+                    f"pool worker died with exitcode {exitcode} "
+                    "before reporting a result"
+                ),
+            )
+            return
+        self._handle_message(run, pending, worker, message)
+        worker.clear()
 
     # -- accounting ------------------------------------------------------
 

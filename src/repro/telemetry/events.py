@@ -46,6 +46,7 @@ __all__ = [
     "task_retry",
     "task_failed",
     "batch_event",
+    "shard_event",
     "cache_event",
     "checkpoint_event",
     "validate_event",
@@ -77,6 +78,7 @@ _CACHE_OUTCOMES = frozenset(("hit", "miss", "corrupt", "sweep"))
 _FAILURE_REASONS = frozenset(("timeout", "crash", "invariant", "error"))
 _CHECKPOINT_ACTIONS = frozenset(("write", "resume"))
 _BATCH_PHASES = frozenset(("start", "stop"))
+_SHARD_PHASES = frozenset(("start", "stop"))
 
 Number = Union[int, float, str]
 
@@ -268,6 +270,26 @@ def batch_event(
     }
 
 
+def shard_event(phase: str, shard: int, shards: int, runs: int, backend: str) -> dict:
+    """One shard of a sharded batch dispatching to (or returning from)
+    a pool worker.
+
+    ``shard`` is the zero-based shard index within a plan of ``shards``
+    shards, ``runs`` the number of batched runs the shard covers, and
+    ``backend`` the engine backend the worker executes it on.
+    """
+    return {
+        "event": "shard",
+        "cat": RUNNER,
+        "v": SCHEMA_VERSION,
+        "phase": phase,
+        "shard": shard,
+        "shards": shards,
+        "runs": runs,
+        "backend": backend,
+    }
+
+
 def cache_event(outcome: str, label: str) -> dict:
     """One on-disk result-cache event for a grid cell or cache file.
 
@@ -420,6 +442,16 @@ EVENT_SCHEMAS: Mapping[str, tuple] = {
             "backend": _string,
             "runs": _is_int,
             "iterations": _optional_int,
+        },
+    ),
+    "shard": (
+        RUNNER,
+        {
+            "phase": _enum(*_SHARD_PHASES),
+            "shard": _is_int,
+            "shards": _is_int,
+            "runs": _is_int,
+            "backend": _string,
         },
     ),
     "cache": (

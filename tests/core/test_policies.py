@@ -52,7 +52,7 @@ class TestRegistry:
 
     def test_only_the_vectorized_policies_are_batch_capable(self):
         capable = [n for n in policy_names() if get_policy(n).batch_capable]
-        assert capable == ["none", "fairness"]
+        assert capable == ["none", "fairness", "drr-arbiter"]
 
     def test_render_table_lists_every_policy_and_parameter(self):
         text = render_policy_table()

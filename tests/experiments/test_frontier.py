@@ -71,7 +71,8 @@ class TestFrontierShape:
     def test_batch_capability_matches_the_registry(self, result):
         by_name = {row.policy: row for row in result.rows}
         assert by_name["fairness"].batch_capable
-        assert not by_name["drr-arbiter"].batch_capable
+        assert by_name["drr-arbiter"].batch_capable
+        assert not by_name["rr-timeshare"].batch_capable
 
     def test_policy_subset_and_unknown_name(self, config):
         sub = frontier.run(config, pairs=PAIRS, policies=("none", "fairness"))

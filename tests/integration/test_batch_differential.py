@@ -167,6 +167,87 @@ class TestStreamRepresentations:
         assert chunked == scalar
 
 
+class TestDrrArbiterBatch:
+    """drr-arbiter rides the deficit arrays: batch == scalar, bitwise.
+
+    The policy stays in the ``policy`` channel of the run spec (unlike
+    ``fairness``, which normalizes away), so these tests pin both the
+    ``supports`` envelope -- drr-arbiter is the *only* residual policy
+    the vectorized backend accepts -- and exact agreement with the
+    scalar :class:`~repro.core.drr.DrrArbiterPolicy` reference.
+    """
+
+    def _drr_spec(self, pair, quantum, seed=0):
+        from repro.core.policies import PolicyConfig
+
+        return SoeRunSpec(
+            streams=pair.streams(seed=seed),
+            policy=PolicyConfig(
+                name="drr-arbiter", params=(("quantum", quantum),)
+            ),
+            params=CONFIG.soe_params(),
+            limits=CONFIG.run_limits(),
+        )
+
+    def _drr_specs(self):
+        pairs = evaluation_pairs()[:3]
+        return [
+            self._drr_spec(pair, quantum)
+            for pair in pairs
+            for quantum in (3_000.0, 12_000.0)
+        ]
+
+    def test_supports_drr_and_only_drr(self):
+        from repro.core.policies import PolicyConfig
+
+        backend = BatchBackend()
+        assert all(backend.supports(spec) for spec in self._drr_specs())
+        strawman = replace(
+            self._drr_specs()[0],
+            policy=PolicyConfig(name="rr-timeshare"),
+        )
+        assert not backend.supports(strawman)
+
+    def test_pure_drr_batch_bit_identical_to_scalar(self):
+        specs = self._drr_specs()
+        assert BatchBackend().run_batch(specs) == \
+            ScalarBackend().run_batch(specs)
+
+    def test_mixed_policy_batch_bit_identical_to_scalar(self):
+        # drr lanes share one lockstep batch with fairness-enforced and
+        # unenforced lanes; the per-run grant masks must keep each
+        # population's arithmetic untouched by the others.
+        mixed = []
+        for index, pair in enumerate(evaluation_pairs()[:3]):
+            mixed.append(self._drr_spec(pair, 5_000.0, seed=index))
+            mixed.append(
+                SoeRunSpec(
+                    streams=pair.streams(seed=index),
+                    fairness=CONFIG.fairness_params(0.5),
+                    params=CONFIG.soe_params(),
+                    limits=CONFIG.run_limits(),
+                )
+            )
+            mixed.append(
+                SoeRunSpec(
+                    streams=pair.streams(seed=index),
+                    params=CONFIG.soe_params(),
+                    limits=CONFIG.run_limits(),
+                )
+            )
+        assert BatchBackend().run_batch(mixed) == \
+            ScalarBackend().run_batch(mixed)
+
+    def test_drr_result_is_independent_of_batch_composition(self):
+        # Batch-no-coupling extends to the new policy lanes: a drr run
+        # alone equals the same run inside a mixed batch.
+        (alone,) = BatchBackend().run_batch(
+            [self._drr_spec(evaluation_pairs()[0], 3_000.0)]
+        )
+        batch = BatchBackend().run_batch(self._drr_specs())
+        assert batch[0] == alone
+
+
 class TestEdgeEnvelope:
     """Configurations that hit the engine's boundary arithmetic."""
 

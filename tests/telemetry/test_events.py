@@ -20,6 +20,7 @@ from repro.telemetry.events import (
     controller_sample,
     parse_categories,
     segment_end,
+    shard_event,
     stall,
     task_event,
     task_failed,
@@ -66,6 +67,8 @@ class TestBuilders:
             checkpoint_event("resume", 7, "grid.ckpt"),
             batch_event("start", "batch", 64),
             batch_event("stop", "batch", 64, iterations=2945),
+            shard_event("start", 0, 4, 16, "batch"),
+            shard_event("stop", 3, 4, 15, "batch"),
         ]
         for event in events:
             assert validate_event(event) is event
@@ -82,6 +85,7 @@ class TestBuilders:
             task_failed("k", "l", 3, "crash"),
             checkpoint_event("write", 1, "p"),
             batch_event("start", "batch", 1),
+            shard_event("start", 0, 2, 8, "batch"),
         )}
         assert built == set(EVENT_SCHEMAS)
 
