@@ -154,6 +154,9 @@ class NoWallClock(Rule):
             "src/repro/experiments/supervisor.py",
             # Fault injection sleeps to simulate a hung worker.
             "src/repro/faults/",
+            # The service's clocks bound job deadlines, retry backoff,
+            # and drain waits; simulation results never depend on them.
+            "src/repro/service/",
             # The perf harness *measures* wall time by design; its
             # numbers describe the simulator and never feed back in.
             "benchmarks/harness.py",

@@ -24,6 +24,15 @@ Fault tolerance (``docs/ROBUSTNESS.md``)::
     python -m repro all --jobs 8 --resume run.ckpt     # after a crash/^C
     python -m repro fig7 --on-failure degrade          # keep what finished
     python -m repro fig7 --inject-faults crash@2,hang@5 --task-timeout 5
+    python -m repro fig7 --retries 3 --retry-backoff 0.25   # jittered backoff
+
+The simulation service (``docs/SERVICE.md``)::
+
+    python -m repro serve --port 8100 --jobs 4 --journal jobs.ckpt
+    python -m repro submit --url http://127.0.0.1:8100 \
+        --tenant alice --pair gcc:eon --wait
+    python -m repro status --url http://127.0.0.1:8100 JOB_ID
+    python -m repro watch --url http://127.0.0.1:8100 JOB_ID
 
 Exit codes: 0 success; 2 grid aborted with failed tasks; 3 degraded
 (``--on-failure degrade`` with failures); 130 interrupted and drained.
@@ -76,7 +85,8 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         help="experiment id, 'all', 'list', 'policies', 'lint', 'bench', "
-        "or 'trace-summary'",
+        "'trace-summary', 'serve', or a service client command "
+        "(submit, status, watch)",
     )
     parser.add_argument(
         "path",
@@ -169,6 +179,15 @@ def build_parser() -> argparse.ArgumentParser:
              "the failure manifest (default 2)",
     )
     parser.add_argument(
+        "--retry-backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="base of the deterministic exponential retry backoff with "
+             "seeded jitter: attempt n waits in [base*2^(n-1)/2, "
+             "base*2^(n-1)] seconds (default 0 = retry immediately)",
+    )
+    parser.add_argument(
         "--on-failure",
         choices=ON_FAILURE_MODES,
         default="abort",
@@ -192,10 +211,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--inject-faults",
         metavar="SPEC",
-        help="deterministic fault injection for testing the supervisor: "
-             "comma-separated kind@index[*count] entries with kind one of "
-             "crash, hang, nan, corrupt (e.g. crash@2,hang@5); see "
-             "docs/ROBUSTNESS.md",
+        help="deterministic fault injection for testing the supervisor "
+             "and the service: comma-separated kind@index[*count] entries "
+             "with kind one of crash, hang, nan, corrupt, storm, stall, "
+             "jtear (e.g. crash@2,hang@5); see docs/ROBUSTNESS.md and "
+             "docs/SERVICE.md",
     )
     parser.add_argument(
         "--trace",
@@ -369,6 +389,7 @@ def _execution_settings(args: argparse.Namespace) -> ExecutionSettings:
         else pathlib.Path(args.cache_dir),
         task_timeout=args.task_timeout,
         retries=args.retries,
+        retry_backoff=args.retry_backoff,
         on_failure=args.on_failure,
         checkpoint=pathlib.Path(checkpoint) if checkpoint else None,
         resume=args.resume is not None,
@@ -376,6 +397,130 @@ def _execution_settings(args: argparse.Namespace) -> ExecutionSettings:
         shards=_parse_shards(args.shards),
         checkpoint_sync=args.checkpoint_sync,
     )
+
+
+def _serve(arg_list: list) -> int:
+    """The ``serve`` subcommand: run the simulation service."""
+    from repro.service.app import ServiceConfig, run_service
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro serve",
+        description="Run the resilient simulation service (docs/SERVICE.md).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument(
+        "--port", type=int, default=8100,
+        help="listen port (0 = ephemeral; see --port-file)",
+    )
+    parser.add_argument(
+        "--port-file", metavar="PATH",
+        help="write the bound port to PATH (for tests/CI binding port 0)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes in the shared supervised pool (default 1)",
+    )
+    parser.add_argument(
+        "--queue-depth", type=int, default=64, metavar="N",
+        help="per-tenant queue bound; a full queue rejects with HTTP 429 "
+             "and a retry-after hint (default 64)",
+    )
+    parser.add_argument(
+        "--quantum", type=float, default=1.0,
+        help="DRR quantum credited per scheduling visit (default 1.0; "
+             "job cost is 1, so 1.0 = strict round robin)",
+    )
+    parser.add_argument(
+        "--task-timeout", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget per job attempt (job deadlines tighten "
+             "this per job; default: no timeout)",
+    )
+    parser.add_argument(
+        "--retries", type=int, default=2, metavar="N",
+        help="extra attempts for a failed job before it is reported "
+             "failed (default 2)",
+    )
+    parser.add_argument(
+        "--retry-backoff", type=float, default=0.0, metavar="SECONDS",
+        help="base of the deterministic exponential retry backoff with "
+             "seeded jitter (default 0 = retry immediately)",
+    )
+    parser.add_argument(
+        "--breaker-window", type=int, default=8, metavar="N",
+        help="recent attempt outcomes the circuit breaker remembers",
+    )
+    parser.add_argument(
+        "--breaker-threshold", type=int, default=4, metavar="N",
+        help="crash/timeout outcomes within the window that trip the "
+             "breaker open (cache-only serving until it recovers)",
+    )
+    parser.add_argument(
+        "--breaker-cooldown", type=int, default=10, metavar="N",
+        help="dispatcher cycles the breaker stays open before probing",
+    )
+    parser.add_argument(
+        "--journal", metavar="PATH",
+        help="durable job journal; a restarted service resumes "
+             "unfinished jobs and serves finished ones bit-identically",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="PATH",
+        help="result cache shared with the grid runner; submissions "
+             "deduping to a cached result answer instantly",
+    )
+    parser.add_argument(
+        "--inject-faults", metavar="SPEC",
+        help="deterministic chaos: kind@index[*count] entries with kind "
+             "one of crash, hang, nan, storm, stall, jtear",
+    )
+    parser.add_argument(
+        "--trace", metavar="PATH",
+        help="stream schema-validated trace events (JSONL) to PATH",
+    )
+    parser.add_argument(
+        "--trace-events", metavar="CATEGORIES",
+        help="comma-separated trace categories to record (default: all)",
+    )
+    args = parser.parse_args(arg_list)
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue_depth=args.queue_depth,
+        quantum=args.quantum,
+        task_timeout=args.task_timeout,
+        retries=args.retries,
+        retry_backoff=args.retry_backoff,
+        breaker_window=args.breaker_window,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown=args.breaker_cooldown,
+        journal=pathlib.Path(args.journal) if args.journal else None,
+        cache_dir=pathlib.Path(args.cache_dir) if args.cache_dir else None,
+        port_file=pathlib.Path(args.port_file) if args.port_file else None,
+    )
+    plan = faults.parse_fault_plan(args.inject_faults)
+    sink = _build_sink(args)
+    try:
+        with telemetry.tracing(sink), faults.fault_injection(plan):
+            return run_service(config)
+    finally:
+        if sink is not None:
+            sink.close()
+
+
+#: Client subcommands dispatched to :mod:`repro.service.client`.
+_SERVICE_CLIENT_COMMANDS = ("submit", "status", "watch")
+
+
+def _service_client(command: str, arg_list: list) -> int:
+    from repro.service import client
+
+    entry = {
+        "submit": client.main_submit,
+        "status": client.main_status,
+        "watch": client.main_watch,
+    }[command]
+    return entry(arg_list)
 
 
 def _trace_summary(args: argparse.Namespace) -> int:
@@ -404,6 +549,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         from repro.benchmarking.cli import main as bench_main
 
         return bench_main(arg_list[1:])
+    if arg_list and arg_list[0] == "serve":
+        # The service subcommand owns its flag set (see repro.service).
+        return _serve(arg_list[1:])
+    if arg_list and arg_list[0] in _SERVICE_CLIENT_COMMANDS:
+        return _service_client(arg_list[0], arg_list[1:])
     args = build_parser().parse_args(arg_list)
     if args.experiment == "list":
         for experiment_id in experiment_ids():

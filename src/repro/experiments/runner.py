@@ -202,6 +202,10 @@ class ExecutionSettings:
     cache_dir: Optional[Path] = None
     task_timeout: Optional[float] = None
     retries: int = 2
+    #: Base seconds of the deterministic exponential retry backoff
+    #: with seeded jitter (0 = retry immediately); see
+    #: :func:`repro.experiments.supervisor.backoff_delay`.
+    retry_backoff: float = 0.0
     on_failure: str = "abort"
     checkpoint: Optional[Path] = None
     resume: bool = False
@@ -242,12 +246,18 @@ class ExecutionSettings:
         if self.resume and self.checkpoint is None:
             raise ConfigurationError("resume requires a checkpoint path")
         # Delegates range validation of the supervision knobs.
-        SupervisionPolicy(task_timeout=self.task_timeout, retries=self.retries)
+        SupervisionPolicy(
+            task_timeout=self.task_timeout,
+            retries=self.retries,
+            retry_backoff=self.retry_backoff,
+        )
 
     @property
     def policy(self) -> SupervisionPolicy:
         return SupervisionPolicy(
-            task_timeout=self.task_timeout, retries=self.retries
+            task_timeout=self.task_timeout,
+            retries=self.retries,
+            retry_backoff=self.retry_backoff,
         )
 
 

@@ -11,10 +11,15 @@ short-lived process and watches it:
   only the supervisor -- results never observe it, so a timed-out-and-
   retried task is still bit-identical.
 * **Retry** -- every failure is retried up to ``retries`` times with
-  deterministic, attempt-counted accounting (no randomized or
-  wall-clock backoff: workers are local processes, and scheduling must
-  not depend on host timing). Each retry respawns a fresh process, so a
-  dead worker is always replaced.
+  deterministic, attempt-counted accounting. An optional exponential
+  backoff (``retry_backoff``) delays each retry by a deterministic,
+  *seeded-jitter* amount -- a pure function of ``(seed, task index,
+  attempt)``, never of the wall clock or a global RNG -- so retry
+  schedules are reproducible while still decorrelating storms of
+  failing tasks. Backoff only decides *when* a retry launches, never
+  what it computes: results stay bit-identical with any backoff.
+  Each retry respawns a fresh process, so a dead worker is always
+  replaced.
 * **Classification** -- failures map onto the typed taxonomy in
   :mod:`repro.errors` (``TaskTimeout``/``WorkerCrash``/
   ``InvariantViolation``/generic task errors) and are reported as
@@ -59,6 +64,7 @@ simulation results.
 
 from __future__ import annotations
 
+import hashlib
 import math
 import multiprocessing
 import multiprocessing.connection
@@ -87,6 +93,9 @@ __all__ = [
     "TaskFailure",
     "SupervisedRun",
     "Supervisor",
+    "TaskPool",
+    "PoolEvent",
+    "backoff_delay",
     "check_invariants",
 ]
 
@@ -100,22 +109,60 @@ _TERM_GRACE_SECONDS = 2.0
 
 @dataclass(frozen=True)
 class SupervisionPolicy:
-    """How failures are bounded: per-attempt timeout and retry budget."""
+    """How failures are bounded: per-attempt timeout, retries, backoff."""
 
     #: Wall-clock seconds one attempt may run (None = no timeout).
     task_timeout: Optional[float] = None
     #: Extra attempts after the first failure (0 = fail fast).
     retries: int = 2
+    #: Base seconds of the deterministic exponential retry backoff
+    #: (0 = respawn immediately, the historical behavior). Attempt
+    #: ``n``'s retry is delayed by ``backoff_delay(retry_backoff, n,
+    #: index=task_index, seed=backoff_seed)``.
+    retry_backoff: float = 0.0
+    #: Seed of the deterministic backoff jitter (see :func:`backoff_delay`).
+    backoff_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.task_timeout is not None and self.task_timeout <= 0:
             raise ConfigurationError("task timeout must be positive seconds")
         if self.retries < 0:
             raise ConfigurationError("retries must be >= 0")
+        if self.retry_backoff < 0:
+            raise ConfigurationError("retry backoff must be >= 0 seconds")
 
     @property
     def max_attempts(self) -> int:
         return self.retries + 1
+
+    def delay_for(self, index: int, attempt: int) -> float:
+        """Backoff before the retry that follows failed ``attempt``."""
+        return backoff_delay(
+            self.retry_backoff, attempt, index=index, seed=self.backoff_seed
+        )
+
+
+def backoff_delay(
+    base: float, attempt: int, *, index: int = 0, seed: int = 0
+) -> float:
+    """Deterministic exponential backoff with seeded jitter (seconds).
+
+    The delay before the retry following failed ``attempt`` (1-based)
+    doubles per attempt and carries an *equal-jitter* factor in
+    ``[0.5, 1.0)`` derived from ``sha256(seed, index, attempt)`` --
+    a pure function of its arguments, so retry schedules are exactly
+    reproducible (no RNG state, no wall clock) while simultaneously
+    failing tasks still spread out instead of thundering back in
+    lockstep.
+    """
+    if base <= 0.0 or attempt < 1:
+        return 0.0
+    window = base * (2.0 ** (attempt - 1))
+    digest = hashlib.sha256(
+        f"repro-backoff-{seed}-{index}-{attempt}".encode()
+    ).digest()
+    jitter = int.from_bytes(digest[:8], "big") / 2.0**64
+    return window * (0.5 + 0.5 * jitter)
 
 
 @dataclass(frozen=True)
@@ -389,6 +436,10 @@ class Supervisor:
         self._drain = False
         self._hard_abort = False
         self._signals = 0
+        #: retries waiting out their backoff: (ready_at, seq, index,
+        #: item, attempt); ``seq`` keeps equal deadlines FIFO-stable.
+        self._delayed: List[tuple] = []
+        self._delay_seq = 0
 
     # -- external control ------------------------------------------------
 
@@ -465,6 +516,51 @@ class Supervisor:
                 continue
             self._accept(run, index, item, result)
 
+    # -- delayed retries (backoff) ----------------------------------------
+
+    def _defer_retry(self, index: int, item: object, attempt: int,
+                     delay: float) -> None:
+        """Park a retry until its backoff elapses."""
+        self._delay_seq += 1
+        self._delayed.append(
+            (time.monotonic() + delay, self._delay_seq, index, item, attempt)
+        )
+
+    def _release_due(self, pending: deque) -> None:
+        """Move delayed retries whose backoff elapsed into ``pending``.
+
+        A drain releases everything immediately: the launcher will not
+        start them, so they land in the run's ``skipped`` accounting
+        instead of stranding the loop on a sleeping retry.
+        """
+        if not self._delayed:
+            return
+        now = time.monotonic()
+        due = [
+            entry for entry in self._delayed
+            if self._drain or entry[0] <= now
+        ]
+        if not due:
+            return
+        for entry in sorted(due):
+            _ready, _seq, index, item, attempt = entry
+            pending.append((index, item, attempt))
+        self._delayed = [e for e in self._delayed if e not in due]
+
+    def _next_backoff_wait(self, ceiling: float) -> float:
+        """Cap a poll wait so the earliest delayed retry is not missed."""
+        if not self._delayed:
+            return ceiling
+        now = time.monotonic()
+        earliest = min(entry[0] for entry in self._delayed)
+        return min(ceiling, max(earliest - now, 0.0))
+
+    def _sleep_until_due(self) -> None:
+        """Idle wait (nothing running) for the next delayed retry."""
+        wait = self._next_backoff_wait(_POLL_SECONDS)
+        if wait > 0:
+            time.sleep(wait)
+
     # -- isolated (process-per-task) mode --------------------------------
 
     def _run_isolated(self, run: SupervisedRun) -> None:
@@ -472,7 +568,7 @@ class Supervisor:
             (index, item, 1) for index, item in self._tasks
         )
         running: List[_Running] = []
-        while pending or running:
+        while pending or running or self._delayed:
             if self._hard_abort:
                 for task in running:
                     self._kill(task)
@@ -486,11 +582,20 @@ class Supervisor:
                     )
                 running.clear()
                 self._drain = True
+            self._release_due(pending)
             while pending and len(running) < self._jobs and not self._drain:
                 running.append(self._launch(*pending.popleft()))
             if not running:
-                break
+                if self._drain:
+                    break
+                if not pending and self._delayed:
+                    self._sleep_until_due()
+                    continue
+                if not pending:
+                    break
+                continue
             self._poll(run, running, pending)
+        self._release_due(pending)
         while pending:
             index, _item, _attempt = pending.popleft()
             run.skipped.append(index)
@@ -522,7 +627,7 @@ class Supervisor:
     def _poll(
         self, run: SupervisedRun, running: List[_Running], pending: deque
     ) -> None:
-        wait_for = _POLL_SECONDS
+        wait_for = self._next_backoff_wait(_POLL_SECONDS)
         now = time.monotonic()
         for task in running:
             if task.deadline is not None:
@@ -687,7 +792,12 @@ class Supervisor:
         )
         workers: List[_PoolWorker] = []
         try:
-            while pending or any(worker.busy for worker in workers):
+            while (
+                pending
+                or self._delayed
+                or any(worker.busy for worker in workers)
+            ):
+                self._release_due(pending)
                 if self._hard_abort:
                     for worker in list(workers):
                         if worker.busy:
@@ -717,10 +827,16 @@ class Supervisor:
                             )
                 busy = [worker for worker in workers if worker.busy]
                 if not busy:
-                    if self._drain or not pending:
+                    if self._drain:
+                        break
+                    if not pending and self._delayed:
+                        self._sleep_until_due()
+                        continue
+                    if not pending:
                         break
                     continue
                 self._poll_pool(run, busy, pending, workers)
+            self._release_due(pending)
             while pending:
                 index, _item, _attempt = pending.popleft()
                 run.skipped.append(index)
@@ -737,7 +853,7 @@ class Supervisor:
         pending: deque,
         workers: List[_PoolWorker],
     ) -> None:
-        wait_for = _POLL_SECONDS
+        wait_for = self._next_backoff_wait(_POLL_SECONDS)
         now = time.monotonic()
         for worker in busy:
             if worker.deadline is not None:
@@ -819,11 +935,20 @@ class Supervisor:
         sink = current_sink()
         if task.attempt < self._policy.max_attempts and not self._drain:
             run.retries += 1
+            delay = self._policy.delay_for(task.index, task.attempt)
             if sink.wants(_TRACE_RUNNER):
                 sink.emit(
-                    task_retry(kind, label, task.attempt + 1, reason)
+                    task_retry(
+                        kind, label, task.attempt + 1, reason,
+                        backoff_s=delay,
+                    )
                 )
-            pending.append((task.index, task.item, task.attempt + 1))
+            if delay > 0.0:
+                self._defer_retry(
+                    task.index, task.item, task.attempt + 1, delay
+                )
+            else:
+                pending.append((task.index, task.item, task.attempt + 1))
             return
         self._record_failure(
             run,
@@ -858,5 +983,386 @@ class Supervisor:
                 message=message,
                 attempts=attempt,
                 error=error,
+            )
+        )
+
+
+# ---------------------------------------------------------------------------
+# Incremental pool: supervision for long-running callers (the service)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PoolEvent:
+    """One observable outcome of a :class:`TaskPool` pump pass.
+
+    ``kind`` is ``"done"`` (``result`` holds the validated value),
+    ``"failed"`` (``failure`` holds the manifest entry), or ``"retry"``
+    (the task is being retried; ``attempt`` is the upcoming attempt and
+    ``backoff_s`` the deterministic delay before it launches).
+    """
+
+    kind: str
+    index: int
+    result: object = None
+    failure: Optional[TaskFailure] = None
+    attempt: int = 0
+    reason: str = ""
+    backoff_s: float = 0.0
+
+
+@dataclass
+class _PoolTask:
+    """One queued/delayed TaskPool entry (with per-task timeout)."""
+
+    index: int
+    item: object
+    attempt: int
+    timeout: Optional[float]
+    ready_at: float = 0.0
+    seq: int = 0
+
+
+class TaskPool:
+    """Supervised persistent pool with *incremental* task submission.
+
+    :class:`Supervisor` is batch-shaped: it takes every task up front
+    and returns when all of them settled -- the right surface for a
+    grid, the wrong one for a long-running service whose work arrives
+    one HTTP request at a time. ``TaskPool`` exposes the same
+    supervision contract (persistent workers served length-prefixed
+    frames, per-attempt wall-clock timeouts, bounded deterministic
+    retries with seeded-jitter backoff, crash/invariant classification
+    through the :mod:`repro.errors` taxonomy, ``task_retry``/
+    ``task_failed`` telemetry, ambient fault-plan hooks in the workers)
+    behind an event-pumped API:
+
+    * :meth:`submit` enqueues one ``(index, item)`` task, optionally
+      with a per-task timeout override (how job deadlines propagate
+      down to attempts);
+    * :meth:`pump` performs one scheduling + poll pass and returns the
+      :class:`PoolEvent` outcomes that settled during it;
+    * :meth:`close` shuts the workers down.
+
+    Like the Supervisor, the pool only decides whether and when a task
+    runs, never what it computes -- a retried task is bit-identical to
+    one that succeeded first try.
+    """
+
+    def __init__(
+        self,
+        call: Callable,
+        *,
+        jobs: int = 1,
+        policy: Optional[SupervisionPolicy] = None,
+        descriptor: Callable[[object], Tuple[str, str]] = _default_descriptor,
+        validate: Callable[[object], None] = check_invariants,
+    ) -> None:
+        if jobs < 1:
+            raise ConfigurationError("jobs must be a positive process count")
+        self._call = call
+        self._jobs = jobs
+        self._policy = policy if policy is not None else SupervisionPolicy()
+        self._descriptor = descriptor
+        self._validate = validate
+        self._pending: deque = deque()
+        self._delayed: List[_PoolTask] = []
+        self._workers: List[_PoolWorker] = []
+        #: per-index timeout overrides travel with the task entry, but a
+        #: retried in-flight task needs them again -- keep them here.
+        self._timeouts: dict = {}
+        self._seq = 0
+        self._closed = False
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        """Tasks queued or waiting out a retry backoff."""
+        return len(self._pending) + len(self._delayed)
+
+    @property
+    def in_flight(self) -> int:
+        return sum(1 for worker in self._workers if worker.busy)
+
+    @property
+    def idle(self) -> bool:
+        return self.pending == 0 and self.in_flight == 0
+
+    def alive_workers(self) -> int:
+        """Live worker processes (the /readyz liveness signal)."""
+        return sum(
+            1 for worker in self._workers if worker.process.is_alive()
+        )
+
+    # -- submission ---------------------------------------------------------
+
+    def submit(
+        self, index: int, item: object, *, timeout: Optional[float] = None
+    ) -> None:
+        """Enqueue one task; ``timeout`` overrides the policy's
+        per-attempt budget (a job deadline propagating down)."""
+        if self._closed:
+            raise ConfigurationError("task pool is closed")
+        if timeout is not None and timeout <= 0:
+            raise ConfigurationError("task timeout must be positive seconds")
+        self._timeouts[index] = timeout
+        self._pending.append(
+            _PoolTask(index=index, item=item, attempt=1, timeout=timeout)
+        )
+
+    # -- the pump ------------------------------------------------------------
+
+    def pump(self, wait: float = 0.05) -> List[PoolEvent]:
+        """One scheduling + poll pass; returns what settled during it."""
+        if self._closed:
+            raise ConfigurationError("task pool is closed")
+        events: List[PoolEvent] = []
+        self._release_due()
+        self._assign_idle(events)
+        busy = [worker for worker in self._workers if worker.busy]
+        if not busy:
+            if self._delayed and wait > 0:
+                now = time.monotonic()
+                earliest = min(task.ready_at for task in self._delayed)
+                pause = min(wait, max(earliest - now, 0.0))
+                if pause > 0:
+                    time.sleep(pause)
+            return events
+        wait_for = wait
+        now = time.monotonic()
+        for task in self._delayed:
+            wait_for = min(wait_for, max(task.ready_at - now, 0.0))
+        for worker in busy:
+            if worker.deadline is not None:
+                wait_for = min(wait_for, max(worker.deadline - now, 0.0))
+        try:
+            ready = multiprocessing.connection.wait(
+                [worker.conn for worker in busy], timeout=max(wait_for, 0.0)
+            )
+        except InterruptedError:  # pragma: no cover - signal during wait
+            ready = []
+        now = time.monotonic()
+        for worker in busy:
+            if worker.conn in ready:
+                self._collect(worker, events)
+            elif worker.deadline is not None and now >= worker.deadline:
+                timeout = self._attempt_timeout(worker.index)
+                self._retire(worker)
+                self._retry_or_fail(
+                    worker,
+                    events,
+                    reason="timeout",
+                    message=(
+                        f"attempt {worker.attempt} exceeded the "
+                        f"{timeout:g}s task timeout"
+                    ),
+                )
+            elif not worker.process.is_alive():
+                # Died between wait() and this check; a buffered result
+                # frame is still collectable (collect-first contract).
+                self._collect(worker, events)
+        return events
+
+    def close(self) -> None:
+        """Shut every worker down (idle ones gracefully)."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in list(self._workers):
+            try:
+                _send_frame(worker.conn, None)
+            except (OSError, ValueError):
+                pass
+            self._kill(worker)
+        self._workers.clear()
+
+    def __enter__(self) -> "TaskPool":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- internals -----------------------------------------------------------
+
+    def _attempt_timeout(self, index: int) -> Optional[float]:
+        override = self._timeouts.get(index)
+        return override if override is not None else self._policy.task_timeout
+
+    def _release_due(self) -> None:
+        if not self._delayed:
+            return
+        now = time.monotonic()
+        due = [task for task in self._delayed if task.ready_at <= now]
+        if not due:
+            return
+        for task in sorted(due, key=lambda t: (t.ready_at, t.seq)):
+            self._pending.append(task)
+        self._delayed = [task for task in self._delayed if task not in due]
+
+    def _assign_idle(self, events: List[PoolEvent]) -> None:
+        for worker in list(self._workers):
+            # An idle worker that died between tasks held no work; just
+            # reap it (a replacement spawns below if demand remains).
+            if not worker.busy and not worker.process.is_alive():
+                self._retire(worker)
+        wanted = min(self._jobs, len(self._pending) + self.in_flight)
+        while (
+            sum(1 for w in self._workers if w.process.is_alive()) < wanted
+        ):
+            self._workers.append(self._spawn())
+        for worker in list(self._workers):
+            if not self._pending:
+                break
+            if worker.busy or not worker.process.is_alive():
+                continue
+            task = self._pending.popleft()
+            self._dispatch(worker, task, events)
+
+    def _spawn(self) -> _PoolWorker:
+        parent_conn, child_conn = multiprocessing.Pipe(duplex=True)
+        process = multiprocessing.Process(
+            target=_pool_worker_main,
+            args=(child_conn, self._call),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return _PoolWorker(process=process, conn=parent_conn)
+
+    def _dispatch(
+        self, worker: _PoolWorker, task: _PoolTask, events: List[PoolEvent]
+    ) -> None:
+        worker.index = task.index
+        worker.item = task.item
+        worker.attempt = task.attempt
+        timeout = self._attempt_timeout(task.index)
+        worker.deadline = (
+            time.monotonic() + timeout if timeout is not None else None
+        )
+        try:
+            _send_frame(worker.conn, (task.index, task.attempt, task.item))
+        except (OSError, ValueError):
+            # Died between tasks; the attempt never started but counts,
+            # keeping the retry budget a hard bound.
+            self._retire(worker)
+            self._retry_or_fail(
+                worker,
+                events,
+                reason="crash",
+                message="pool worker died before accepting the task",
+            )
+
+    def _retire(self, worker: _PoolWorker) -> None:
+        self._kill(worker)
+        if worker in self._workers:
+            self._workers.remove(worker)
+
+    def _kill(self, worker: _PoolWorker) -> None:
+        worker.conn.close()
+        process = worker.process
+        if process.is_alive():
+            process.terminate()
+            process.join(_TERM_GRACE_SECONDS)
+            if process.is_alive():  # pragma: no cover - stuck in kernel
+                process.kill()
+                process.join()
+        else:
+            process.join()
+
+    def _collect(self, worker: _PoolWorker, events: List[PoolEvent]) -> None:
+        try:
+            message = _recv_frame(worker.conn)
+        except _FRAME_ERRORS:
+            message = None
+        if message is None:
+            exitcode = worker.process.exitcode
+            self._retire(worker)
+            self._retry_or_fail(
+                worker,
+                events,
+                reason="crash",
+                message=(
+                    f"pool worker died with exitcode {exitcode} "
+                    "before reporting a result"
+                ),
+            )
+            return
+        if message[0] == "ok":
+            result = message[1]
+            try:
+                self._validate(result)
+            except InvariantViolation as error:
+                self._retry_or_fail(
+                    worker, events, reason="invariant", message=str(error)
+                )
+                worker.clear()
+                return
+            index = worker.index
+            worker.clear()
+            self._timeouts.pop(index, None)
+            events.append(PoolEvent(kind="done", index=index, result=result))
+            return
+        _tag, reason, text, _trace = message
+        self._retry_or_fail(worker, events, reason=reason, message=text)
+        worker.clear()
+
+    def _retry_or_fail(
+        self,
+        worker: _PoolWorker,
+        events: List[PoolEvent],
+        *,
+        reason: str,
+        message: str,
+    ) -> None:
+        index, item, attempt = worker.index, worker.item, worker.attempt
+        kind, label = self._descriptor(item)
+        sink = current_sink()
+        if attempt < self._policy.max_attempts:
+            delay = self._policy.delay_for(index, attempt)
+            if sink.wants(_TRACE_RUNNER):
+                sink.emit(
+                    task_retry(kind, label, attempt + 1, reason,
+                               backoff_s=delay)
+                )
+            self._seq += 1
+            retry = _PoolTask(
+                index=index,
+                item=item,
+                attempt=attempt + 1,
+                timeout=self._timeouts.get(index),
+                ready_at=time.monotonic() + delay,
+                seq=self._seq,
+            )
+            if delay > 0.0:
+                self._delayed.append(retry)
+            else:
+                self._pending.append(retry)
+            events.append(
+                PoolEvent(
+                    kind="retry",
+                    index=index,
+                    attempt=attempt + 1,
+                    reason=reason,
+                    backoff_s=delay,
+                )
+            )
+            return
+        if sink.wants(_TRACE_RUNNER):
+            sink.emit(task_failed(kind, label, attempt, reason))
+        self._timeouts.pop(index, None)
+        events.append(
+            PoolEvent(
+                kind="failed",
+                index=index,
+                failure=TaskFailure(
+                    index=index,
+                    kind=kind,
+                    label=label,
+                    reason=reason,
+                    message=message,
+                    attempts=attempt,
+                ),
+                reason=reason,
             )
         )

@@ -16,23 +16,43 @@ injects failures at *chosen task indices*:
   index* is overwritten with garbage after being stored, exercising
   quarantine-on-load.
 
+The simulation *service* (``python -m repro serve``) adds three
+service-level kinds on the same plan:
+
+* ``storm``   -- a worker *crash storm*: every first attempt of tasks
+  ``index .. index+count-1`` dies, exercising the circuit breaker and
+  retry backoff under a burst (retries still recover each task);
+* ``stall``   -- a *slow client*: request handling for request indices
+  ``index .. index+count-1`` is delayed, exercising per-connection
+  isolation (other tenants' requests must not queue behind it);
+* ``jtear``   -- a *torn journal append*: writes ``index ..
+  index+count-1`` of the job journal first land truncated mid-line
+  (as if power failed inside ``write(2)``), exercising the writer's
+  verify-and-repair path and the loader's torn-line tolerance.
+
 Injection is keyed by ``(kind, task index, attempt)`` and nothing else:
 no randomness, no wall clock, no dependence on the workload seed, so a
-faulted run is exactly reproducible. A fault fires on the first
-``count`` attempts of its task (default 1), which is what lets a retry
-budget *recover*: ``crash@3`` fails task 3 once, and the retry
-succeeds.
+faulted run is exactly reproducible. For the classic kinds a fault
+fires on the first ``count`` attempts of its task (default 1), which is
+what lets a retry budget *recover*: ``crash@3`` fails task 3 once, and
+the retry succeeds. For the service kinds (``storm``/``stall``/
+``jtear``) ``count`` is instead the *width of the index range* the
+fault covers, and only first attempts are hit.
 
 Spec grammar (``--inject-faults``)::
 
     spec    := entry ("," entry)*
     entry   := kind "@" index ("*" count)?
     kind    := "crash" | "hang" | "nan" | "corrupt"
+             | "storm" | "stall" | "jtear"
 
-e.g. ``crash@2,hang@5,nan@7*2,corrupt@1``. Indices for
-``crash``/``hang``/``nan`` refer to the deterministic supervised-task
-order (single-thread baselines first, then every (pair, level) SOE
-task); ``corrupt`` indices refer to the pair's position in the grid.
+e.g. ``crash@2,hang@5,nan@7*2,corrupt@1`` or ``storm@0*3,jtear@1``.
+Indices for ``crash``/``hang``/``nan`` refer to the deterministic
+supervised-task order (single-thread baselines first, then every
+(pair, level) SOE task); ``corrupt`` indices refer to the pair's
+position in the grid; ``storm`` indices refer to service job dispatch
+order, ``stall`` to request arrival order, and ``jtear`` to journal
+append order.
 """
 
 from __future__ import annotations
@@ -49,6 +69,7 @@ from repro.errors import ConfigurationError, ReproError
 
 __all__ = [
     "FAULT_KINDS",
+    "RANGE_KINDS",
     "CRASH_EXIT_CODE",
     "FaultSpec",
     "FaultPlan",
@@ -60,7 +81,13 @@ __all__ = [
 ]
 
 #: Injection kinds understood by the plan (and the spec grammar).
-FAULT_KINDS = frozenset(("crash", "hang", "nan", "corrupt"))
+FAULT_KINDS = frozenset(
+    ("crash", "hang", "nan", "corrupt", "storm", "stall", "jtear")
+)
+
+#: Kinds whose ``count`` widens the covered *index range* (service
+#: chaos) instead of repeating across attempts (classic kinds).
+RANGE_KINDS = frozenset(("storm", "stall", "jtear"))
 
 #: Exit code of an injected worker crash (BSD ``EX_SOFTWARE``); chosen
 #: to be visibly distinct from signal deaths (negative exitcodes).
@@ -70,13 +97,21 @@ CRASH_EXIT_CODE = 70
 #: long before this; the supervisor terminates the sleeping worker.
 _HANG_SECONDS = 3600.0
 
+#: How long an injected slow-client stall delays one request. Short
+#: enough to keep chaos tests fast, long enough that an accidentally
+#: serialized server would visibly delay the *other* tenant too.
+_STALL_SECONDS = 0.2
+
 
 @dataclass(frozen=True)
 class FaultSpec:
     """One injected fault: ``kind`` at task/pair ``index``.
 
     The fault fires on attempts ``1..count`` of that task and never
-    again, so a retry budget ``>= count`` recovers the task.
+    again, so a retry budget ``>= count`` recovers the task. For the
+    service-level range kinds (:data:`RANGE_KINDS`) ``count`` is
+    instead the width of the covered index range
+    ``index .. index+count-1`` and only first attempts fire.
     """
 
     kind: str
@@ -122,10 +157,19 @@ class FaultPlan:
             for spec in self.specs
         )
 
+    def _covers(self, kind: str, index: int) -> bool:
+        """Range-kind check: is ``index`` inside any ``kind`` burst?"""
+        return any(
+            spec.kind == kind and spec.index <= index < spec.index + spec.count
+            for spec in self.specs
+        )
+
     # -- worker-side hooks (called inside the task process) -------------
     def on_task_start(self, index: int, attempt: int) -> None:
         """Crash or hang the executing worker if the plan says so."""
         if self._fires("crash", index, attempt):
+            os._exit(CRASH_EXIT_CODE)
+        if attempt == 1 and self._covers("storm", index):
             os._exit(CRASH_EXIT_CODE)
         if self._fires("hang", index, attempt):
             time.sleep(_HANG_SECONDS)
@@ -135,6 +179,17 @@ class FaultPlan:
         if self._fires("nan", index, attempt):
             return _poison(result)
         return result
+
+    # -- service-side hooks (called inside the serve process) -----------
+    def stall_seconds(self, request_index: int) -> float:
+        """Slow-client delay for the ``request_index``-th request."""
+        if self._covers("stall", request_index):
+            return _STALL_SECONDS
+        return 0.0
+
+    def tears_write(self, write_index: int) -> bool:
+        """Should the ``write_index``-th journal append land torn?"""
+        return self._covers("jtear", write_index)
 
     # -- parent-side hooks ----------------------------------------------
     def corrupts_cache(self, pair_index: int) -> bool:

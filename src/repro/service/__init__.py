@@ -1,0 +1,54 @@
+"""The resilient simulation service (``python -m repro serve``).
+
+The grid runner answers "run this whole sweep, now, in this process".
+This package answers the other shape of demand: *many tenants, small
+requests, over time* -- a long-running HTTP/JSON API that accepts
+experiment specs, dedupes them against the on-disk result cache, queues
+them fairly across tenants, and executes them on the same supervised
+worker pool the grid uses. It is the paper's scheduling story replayed
+one level up: the simulator arbitrates two SMT threads with deficit
+counters (Eq. 9); the service arbitrates N tenants with deficit round
+robin over the shared pool.
+
+Robustness is the design center (``docs/SERVICE.md``):
+
+* **admission control** -- per-tenant bounded queues; a full queue
+  rejects with an explicit retry-after instead of buffering unbounded;
+* **deadlines** -- a job's deadline propagates down to the supervisor's
+  per-attempt wall-clock timeout;
+* **retries** -- deterministic exponential backoff with seeded jitter
+  (:func:`repro.experiments.supervisor.backoff_delay`);
+* **circuit breaker** -- bursts of worker crashes/timeouts trip the
+  dispatcher open and the service degrades to cache-only serving;
+* **durability** -- every accepted job and every outcome is journaled
+  (:mod:`repro.experiments.checkpoint` format); a killed-and-restarted
+  service resumes unfinished jobs and serves finished ones bit-identically;
+* **graceful drain** -- SIGTERM stops admission, finishes in-flight
+  work, journals it, and exits 0.
+
+The module split mirrors those concerns: :mod:`.jobs` (specs, ids,
+validation), :mod:`.queueing` (DRR + admission), :mod:`.breaker`,
+:mod:`.state` (the job journal), :mod:`.http` (a dependency-free
+asyncio HTTP/1.1 server), :mod:`.app` (the composition), and
+:mod:`.client` (the ``submit``/``status``/``watch`` CLI).
+"""
+
+from repro.service.app import ServiceApp, ServiceConfig
+from repro.service.breaker import CircuitBreaker
+from repro.service.jobs import Job, JobSpec, job_id, parse_job_spec
+from repro.service.queueing import Admission, DrrScheduler
+from repro.service.state import JobJournal, load_job_records
+
+__all__ = [
+    "Admission",
+    "CircuitBreaker",
+    "DrrScheduler",
+    "Job",
+    "JobJournal",
+    "JobSpec",
+    "ServiceApp",
+    "ServiceConfig",
+    "job_id",
+    "load_job_records",
+    "parse_job_spec",
+]

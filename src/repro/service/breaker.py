@@ -1,0 +1,132 @@
+"""A counter-based circuit breaker over pool dispatch outcomes.
+
+When the worker pool starts failing *environmentally* -- crash storms,
+wedged tasks hitting timeouts -- continuing to dispatch burns retry
+budgets, churns worker respawns, and turns every queued job into a slow
+failure. The breaker watches the rolling window of recent attempt
+outcomes and, past a failure threshold, *opens*: dispatch stops, queued
+jobs wait, and the service degrades to cache-only serving (submissions
+that dedupe to a cached result still answer instantly; everything else
+is told to retry later).
+
+The breaker is deliberately clocked by *events*, not wall time: it
+counts dispatch outcomes and pump cycles. Chaos tests can therefore
+assert exact open/half-open/close sequences -- a wall-clock cooldown
+would make the trip deterministic but the recovery racy.
+
+States follow the classic pattern:
+
+* ``closed`` -- normal dispatch; outcomes feed the window.
+* ``open`` -- no dispatch for ``cooldown`` pump cycles.
+* ``half_open`` -- one probe task may dispatch; its success closes the
+  breaker (window cleared), its failure re-opens it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.telemetry import RUNNER as _TRACE_CATEGORY
+from repro.telemetry import current_sink
+from repro.telemetry.events import breaker_event
+
+__all__ = ["CircuitBreaker"]
+
+#: Outcome reasons that count as environmental failures. An
+#: ``invariant`` failure is the *simulation* misbehaving, not the
+#: environment; it must not trip the breaker (and ``error`` failures
+#: are the task's own exception -- deterministic, not environmental).
+_TRIP_REASONS = frozenset(("crash", "timeout"))
+
+
+class CircuitBreaker:
+    """Trips open on a burst of crash/timeout outcomes.
+
+    ``window`` bounds how many recent outcomes are remembered;
+    ``threshold`` failures within it open the breaker; ``cooldown``
+    pump cycles later one probe is allowed through (half-open).
+    """
+
+    def __init__(
+        self, *, window: int = 8, threshold: int = 4, cooldown: int = 10
+    ) -> None:
+        if window < 1 or threshold < 1 or cooldown < 1:
+            raise ConfigurationError(
+                "breaker window, threshold, and cooldown must be >= 1"
+            )
+        if threshold > window:
+            raise ConfigurationError(
+                "breaker threshold cannot exceed its window"
+            )
+        self.window = window
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = "closed"
+        self._outcomes: deque = deque(maxlen=window)
+        self._cooldown_left = 0
+        self._probe_in_flight = False
+        #: state-change history (state names), for tests and /v1/stats
+        self.transitions: list = []
+
+    @property
+    def failures(self) -> int:
+        """Environmental failures currently inside the window."""
+        return sum(1 for reason in self._outcomes if reason in _TRIP_REASONS)
+
+    def _transition(self, state: str) -> None:
+        if state == self.state:
+            return
+        self.state = state
+        self.transitions.append(state)
+        sink = current_sink()
+        if sink.wants(_TRACE_CATEGORY):
+            sink.emit(breaker_event(state, self.failures))
+
+    # -- dispatch gating ----------------------------------------------------
+
+    def allows_dispatch(self) -> bool:
+        """May the dispatcher hand the pool another task right now?"""
+        if self.state == "closed":
+            return True
+        if self.state == "half_open":
+            return not self._probe_in_flight
+        return False
+
+    def on_dispatch(self) -> None:
+        """A task was just handed to the pool."""
+        if self.state == "half_open":
+            self._probe_in_flight = True
+
+    def on_cycle(self) -> None:
+        """One dispatcher pump cycle elapsed (the breaker's clock)."""
+        if self.state == "open":
+            self._cooldown_left -= 1
+            if self._cooldown_left <= 0:
+                self._probe_in_flight = False
+                self._transition("half_open")
+
+    # -- outcome feedback ---------------------------------------------------
+
+    def record(self, reason: Optional[str]) -> None:
+        """Feed one attempt outcome (None = success) back in."""
+        failed = reason in _TRIP_REASONS
+        if self.state == "half_open":
+            self._probe_in_flight = False
+            if failed:
+                self._open()
+            else:
+                self._outcomes.clear()
+                self._transition("closed")
+            return
+        self._outcomes.append(reason if failed else "ok")
+        if self.state == "closed" and self.failures >= self.threshold:
+            self._open()
+
+    def _open(self) -> None:
+        self._cooldown_left = self.cooldown
+        # Transition before clearing so the trace event reports the
+        # failure count that actually tripped the breaker.
+        self._transition("open")
+        self._outcomes.clear()

@@ -1,0 +1,227 @@
+"""The service's client: ``python -m repro submit|status|watch``.
+
+A thin stdlib-only HTTP client (:mod:`http.client` -- no new
+dependencies) plus the argument parsing for the three client
+subcommands. Every function returns data and prints nothing except in
+the CLI entry points, so tests drive the client exactly as users do.
+"""
+
+from __future__ import annotations
+
+import argparse
+import http.client
+import json
+import sys
+from typing import Iterator, Optional, Tuple
+from urllib.parse import urlsplit
+
+from repro.errors import ConfigurationError
+
+__all__ = [
+    "ServiceClient",
+    "main_submit",
+    "main_status",
+    "main_watch",
+]
+
+
+class ServiceClient:
+    """Talks to one service instance at ``url`` (e.g. http://host:port)."""
+
+    def __init__(self, url: str, timeout: float = 60.0) -> None:
+        parts = urlsplit(url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ConfigurationError(
+                f"service url must look like http://host:port, got {url!r}"
+            )
+        self.host = parts.hostname
+        self.port = parts.port or 80
+        self.timeout = timeout
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> Tuple[int, dict]:
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            payload = (
+                json.dumps(body).encode("utf-8") if body is not None else None
+            )
+            headers = {"content-type": "application/json"} if payload else {}
+            conn.request(method, path, body=payload, headers=headers)
+            response = conn.getresponse()
+            data = response.read()
+            try:
+                decoded = json.loads(data.decode("utf-8")) if data else {}
+            except ValueError as error:
+                raise ConfigurationError(
+                    f"service returned non-JSON for {path}: {error}"
+                ) from error
+            if not isinstance(decoded, dict):
+                raise ConfigurationError(
+                    f"service returned a non-object for {path}"
+                )
+            return response.status, decoded
+        finally:
+            conn.close()
+
+    # -- API calls ----------------------------------------------------------
+
+    def submit(self, spec: dict) -> Tuple[int, dict]:
+        return self._request("POST", "/v1/jobs", spec)
+
+    def status(self, job: str) -> Tuple[int, dict]:
+        return self._request("GET", f"/v1/jobs/{job}")
+
+    def result(self, job: str) -> Tuple[int, dict]:
+        return self._request("GET", f"/v1/jobs/{job}/result")
+
+    def stats(self) -> Tuple[int, dict]:
+        return self._request("GET", "/v1/stats")
+
+    def health(self) -> Tuple[int, dict]:
+        return self._request("GET", "/healthz")
+
+    def ready(self) -> Tuple[int, dict]:
+        return self._request("GET", "/readyz")
+
+    def watch(self, job: str) -> Iterator[dict]:
+        """Stream status updates until the job reaches a terminal state.
+
+        Yields each NDJSON line of ``/v1/jobs/<id>/events`` as a dict;
+        the server closes the stream at the terminal transition.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.timeout
+        )
+        try:
+            conn.request("GET", f"/v1/jobs/{job}/events")
+            response = conn.getresponse()
+            if response.status != 200:
+                body = response.read().decode("utf-8", "replace").strip()
+                raise ConfigurationError(
+                    f"watch failed with HTTP {response.status}: {body}"
+                )
+            for raw in response:
+                line = raw.strip()
+                if not line:
+                    continue
+                yield json.loads(line.decode("utf-8"))
+        finally:
+            conn.close()
+
+
+# ---------------------------------------------------------------------------
+# CLI entry points (dispatched from repro.cli)
+# ---------------------------------------------------------------------------
+
+
+def _common_parser(name: str, description: str) -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog=f"python -m repro {name}", description=description
+    )
+    parser.add_argument(
+        "--url",
+        required=True,
+        help="service base url, e.g. http://127.0.0.1:8100",
+    )
+    return parser
+
+
+def _spec_from_args(args: argparse.Namespace) -> dict:
+    spec: dict = {
+        "tenant": args.tenant,
+        "pair": args.pair,
+        "scale": args.scale,
+    }
+    if args.levels:
+        spec["config"] = {
+            "fairness_levels": [float(text) for text in args.levels.split(",")]
+        }
+    if args.deadline is not None:
+        spec["deadline_s"] = args.deadline
+    return spec
+
+
+def main_submit(arg_list: Optional[list] = None) -> int:
+    parser = _common_parser("submit", "Submit one job to the service.")
+    parser.add_argument("--tenant", required=True, help="tenant identifier")
+    parser.add_argument(
+        "--pair", required=True, help="benchmark pair, e.g. gcc:eon"
+    )
+    parser.add_argument(
+        "--scale",
+        default="quick",
+        choices=("quick", "default", "paper"),
+        help="base EvalConfig scale (default: quick)",
+    )
+    parser.add_argument(
+        "--levels",
+        default=None,
+        help="comma-separated fairness levels override, e.g. 0,0.5",
+    )
+    parser.add_argument(
+        "--deadline",
+        type=float,
+        default=None,
+        help="job deadline in seconds (propagates to task timeouts)",
+    )
+    parser.add_argument(
+        "--wait",
+        action="store_true",
+        help="stream progress until the job finishes (implies watch)",
+    )
+    args = parser.parse_args(arg_list)
+    client = ServiceClient(args.url)
+    status, body = client.submit(_spec_from_args(args))
+    print(json.dumps(body, indent=2))
+    if status not in (200, 202):
+        return 1
+    if args.wait and not body.get("terminal"):
+        for update in client.watch(str(body["job"])):
+            print(json.dumps(update))
+            body = update
+    return 0 if body.get("state") in ("completed", "cached", "queued",
+                                      "dispatched") else 1
+
+
+def main_status(arg_list: Optional[list] = None) -> int:
+    parser = _common_parser("status", "Show a job's state (or service stats).")
+    parser.add_argument(
+        "job", nargs="?", default=None,
+        help="job id; omit for service-wide stats",
+    )
+    parser.add_argument(
+        "--result",
+        action="store_true",
+        help="fetch the finished result payload instead of the state",
+    )
+    args = parser.parse_args(arg_list)
+    client = ServiceClient(args.url)
+    if args.job is None:
+        status, body = client.stats()
+    elif args.result:
+        status, body = client.result(args.job)
+    else:
+        status, body = client.status(args.job)
+    print(json.dumps(body, indent=2))
+    return 0 if status == 200 else 1
+
+
+def main_watch(arg_list: Optional[list] = None) -> int:
+    parser = _common_parser(
+        "watch", "Stream a job's state transitions until it finishes."
+    )
+    parser.add_argument("job", help="job id to watch")
+    args = parser.parse_args(arg_list)
+    client = ServiceClient(args.url)
+    last = {}
+    try:
+        for update in client.watch(args.job):
+            print(json.dumps(update))
+            last = update
+    except ConfigurationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0 if last.get("state") in ("completed", "cached") else 1

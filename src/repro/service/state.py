@@ -1,0 +1,181 @@
+"""Durable job state: the service's checkpoint journal.
+
+Every accepted job and every outcome is journaled in the grid
+checkpoint format (:mod:`repro.experiments.checkpoint`): one fsync'd
+JSONL line per record, a fingerprint header, base64-pickled payloads so
+results round-trip bit-identically. A service killed at *any* instant
+restarts from its journal with nothing lost but the in-flight attempt:
+
+* ``spec:<id>``  -- the accepted :class:`~repro.service.jobs.JobSpec`
+  (as its JSON form), written at admission;
+* ``done:<id>``  -- the finished ``PairResult`` pickle;
+* ``fail:<id>``  -- the failure record of an exhausted job.
+
+On boot, :func:`load_job_records` folds the journal: a job with a
+``done:``/``fail:`` record is terminal and served from the journal; a
+``spec:`` without one is *resumed* -- re-enqueued for execution, where
+the result cache usually answers instantly if the work had finished
+but the outcome line was lost to the crash.
+
+Unlike the grid's writer, appends here flow through the ambient fault
+plan's ``jtear`` hook: a covered write first lands *torn* (truncated
+mid-line, exactly what a power cut inside ``write(2)`` leaves), then
+the writer verifies and repairs -- truncating the tear and rewriting
+the full line. The loader independently tolerates a torn *final* line,
+so both halves of the crash window are exercised by tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Tuple, Union
+
+from repro import faults
+from repro.errors import ConfigurationError
+from repro.experiments.checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointWriter,
+    load_checkpoint,
+)
+
+__all__ = [
+    "JOURNAL_FINGERPRINT",
+    "JobJournal",
+    "journal_note",
+    "load_job_records",
+]
+
+#: Journal fingerprint: pins the journal to the service's record
+#: layout. The simulator code version is deliberately *not* mixed in
+#: here -- job ids already encode it, so a journal survives restarts
+#: across deploys and stale jobs simply re-dedupe under their own ids.
+JOURNAL_FINGERPRINT = "repro-service-v1"
+
+_PREFIXES = ("spec", "done", "fail")
+
+
+class JobJournal:
+    """Append-only journal of job specs and outcomes.
+
+    Wraps :class:`~repro.experiments.checkpoint.CheckpointWriter` for
+    the header/validation contract but owns the append path, so the
+    ``jtear`` chaos hook and its verify-and-repair can wrap every line.
+    """
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self._writer = CheckpointWriter(
+            self.path, JOURNAL_FINGERPRINT, code_version="service"
+        )
+        self._writes = 0
+        #: torn appends repaired over this journal's lifetime
+        self.repaired = 0
+
+    def _fd(self) -> int:
+        fd = self._writer._fd
+        if fd is None:
+            raise ConfigurationError("job journal is closed")
+        return fd
+
+    def _append(self, obj: dict) -> None:
+        line = (
+            json.dumps(obj, separators=(",", ":"), sort_keys=True).encode(
+                "utf-8"
+            )
+            + b"\n"
+        )
+        fd = self._fd()
+        index = self._writes
+        self._writes += 1
+        plan = faults.current_plan()
+        if plan.active and plan.tears_write(index):
+            # Chaos: land the torn prefix first (the crash window a
+            # power cut leaves), then verify-and-repair it.
+            offset = os.fstat(fd).st_size
+            os.write(fd, line[: max(len(line) // 2, 1)])
+            os.fsync(fd)
+            os.ftruncate(fd, offset)
+            self.repaired += 1
+        os.write(fd, line)
+        os.fsync(fd)
+
+    def _record(self, prefix: str, job_id: str, payload: object) -> None:
+        self._append(
+            CheckpointWriter._task_line("job", f"{prefix}:{job_id}", payload)
+        )
+
+    def record_spec(self, job_id: str, spec_json: dict) -> None:
+        """Journal an accepted job's spec (its JSON form)."""
+        self._record("spec", job_id, spec_json)
+
+    def record_done(self, job_id: str, result: object) -> None:
+        """Journal a finished job's result (pickled bit-identically)."""
+        self._record("done", job_id, result)
+
+    def record_fail(self, job_id: str, failure: dict) -> None:
+        """Journal an exhausted job's failure record."""
+        self._record("fail", job_id, failure)
+
+    def note(self, payload: dict) -> None:
+        """Journal an informational note (drain markers, resume info)."""
+        self._append(
+            {"v": CHECKPOINT_VERSION, "kind": "note", "note": payload}
+        )
+
+    def close(self) -> None:
+        self._writer.close()
+
+    def __enter__(self) -> "JobJournal":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def load_job_records(
+    path: Union[str, Path],
+) -> Tuple[Dict[str, dict], Dict[str, object], Dict[str, dict]]:
+    """Fold a job journal into ``(specs, results, failures)`` by job id.
+
+    Returns empty mappings for a missing file (a fresh service).
+    Raises :class:`~repro.errors.ConfigurationError` for a journal
+    written by something other than the service, or for corruption
+    anywhere but the final line -- the same crash-explains-it contract
+    the grid loader enforces.
+    """
+    journal = Path(path)
+    if not journal.exists():
+        return {}, {}, {}
+    state = load_checkpoint(journal)
+    if state.fingerprint != JOURNAL_FINGERPRINT:
+        raise ConfigurationError(
+            f"{journal} is not a service job journal (fingerprint "
+            f"{state.fingerprint!r}); refusing to mix job state"
+        )
+    specs: Dict[str, dict] = {}
+    results: Dict[str, object] = {}
+    failures: Dict[str, dict] = {}
+    buckets = {"spec": specs, "done": results, "fail": failures}
+    for key, payload in state.tasks.items():
+        prefix, sep, job_id = key.partition(":")
+        if not sep or prefix not in _PREFIXES or not job_id:
+            raise ConfigurationError(
+                f"{journal}: unrecognized job record key {key!r}"
+            )
+        buckets[prefix][job_id] = payload
+    return specs, results, failures
+
+
+def journal_note(path: Union[str, Path], what: str) -> Optional[dict]:
+    """The most recent note of kind ``what`` in a journal, if any."""
+    journal = Path(path)
+    if not journal.exists():
+        return None
+    state = load_checkpoint(journal)
+    found = None
+    for note in state.notes:
+        if isinstance(note, dict) and note.get("what") == what:
+            found = note
+    return found

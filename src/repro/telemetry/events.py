@@ -49,13 +49,20 @@ __all__ = [
     "shard_event",
     "cache_event",
     "checkpoint_event",
+    "job_event",
+    "queue_event",
+    "breaker_event",
+    "sink_degraded_event",
     "validate_event",
     "validate_trace_file",
 ]
 
 #: Bump when an event's envelope or payload layout changes.
 #: v2: ``task`` events carry the switch policy enforcing the run.
-SCHEMA_VERSION = 2
+#: v3: ``task_retry`` carries the deterministic retry backoff
+#: (``backoff_s``); new service-layer events ``job``/``queue``/
+#: ``breaker`` and the sink self-report ``sink_degraded``.
+SCHEMA_VERSION = 3
 
 CONTROLLER = "controller"
 SWITCH = "switch"
@@ -79,6 +86,21 @@ _FAILURE_REASONS = frozenset(("timeout", "crash", "invariant", "error"))
 _CHECKPOINT_ACTIONS = frozenset(("write", "resume"))
 _BATCH_PHASES = frozenset(("start", "stop"))
 _SHARD_PHASES = frozenset(("start", "stop"))
+#: Job lifecycle phases of the simulation service (docs/SERVICE.md).
+_JOB_PHASES = frozenset(
+    (
+        "submitted",  # admitted into a tenant queue
+        "cached",     # answered from the result cache / journal, no run
+        "dispatched",  # handed to a pool worker
+        "completed",  # result accepted and journaled
+        "failed",     # exhausted its retry budget
+        "expired",    # deadline passed before completion
+        "rejected",   # refused at admission (backpressure / drain)
+        "resumed",    # re-enqueued from the journal after a restart
+    )
+)
+_QUEUE_ACTIONS = frozenset(("enqueue", "dispatch", "reject"))
+_BREAKER_STATES = frozenset(("closed", "open", "half_open"))
 
 Number = Union[int, float, str]
 
@@ -216,11 +238,16 @@ def task_event(
     }
 
 
-def task_retry(kind: str, label: str, attempt: int, reason: str) -> dict:
+def task_retry(
+    kind: str, label: str, attempt: int, reason: str,
+    backoff_s: float = 0.0,
+) -> dict:
     """A failed grid task is being retried (``attempt`` starts next).
 
     ``reason`` classifies the failure that triggered the retry using
-    the taxonomy of :mod:`repro.errors` (timeout/crash/invariant/error).
+    the taxonomy of :mod:`repro.errors` (timeout/crash/invariant/error);
+    ``backoff_s`` is the deterministic seeded-jitter delay before the
+    retry launches (0 = immediate respawn).
     """
     return {
         "event": "task_retry",
@@ -230,6 +257,7 @@ def task_retry(kind: str, label: str, attempt: int, reason: str) -> dict:
         "label": label,
         "attempt": attempt,
         "reason": reason,
+        "backoff_s": _num(backoff_s),
     }
 
 
@@ -315,6 +343,69 @@ def checkpoint_event(action: str, tasks: int, path: str) -> dict:
         "action": action,
         "tasks": tasks,
         "path": path,
+    }
+
+
+def job_event(phase: str, tenant: str, job: str, detail: Optional[str] = None) -> dict:
+    """One simulation-service job crossing a lifecycle boundary.
+
+    ``job`` is the job's content-hash id; ``detail`` carries the
+    phase-specific annotation (failure reason, rejection cause, the
+    cache/journal source of a ``cached`` answer).
+    """
+    return {
+        "event": "job",
+        "cat": RUNNER,
+        "v": SCHEMA_VERSION,
+        "phase": phase,
+        "tenant": tenant,
+        "job": job,
+        "detail": detail,
+    }
+
+
+def queue_event(action: str, tenant: str, depth: int, deficit: float) -> dict:
+    """One per-tenant DRR queue transition in the simulation service.
+
+    ``depth`` is the tenant's queue depth after the action; ``deficit``
+    the tenant's deficit-counter value (the service-layer analogue of
+    the paper's Eq. 9 per-thread deficit counters).
+    """
+    return {
+        "event": "queue",
+        "cat": RUNNER,
+        "v": SCHEMA_VERSION,
+        "action": action,
+        "tenant": tenant,
+        "depth": depth,
+        "deficit": _num(deficit),
+    }
+
+
+def breaker_event(state: str, failures: int) -> dict:
+    """The service circuit breaker changed state.
+
+    ``failures`` is the number of crash/timeout outcomes in the rolling
+    window at the moment of the transition.
+    """
+    return {
+        "event": "breaker",
+        "cat": RUNNER,
+        "v": SCHEMA_VERSION,
+        "state": state,
+        "failures": failures,
+    }
+
+
+def sink_degraded_event(path: str, error: str) -> dict:
+    """A JSONL trace sink hit an unwritable file (ENOSPC/EPIPE/...) and
+    degraded to a null sink; simulation results are unaffected."""
+    return {
+        "event": "sink_degraded",
+        "cat": RUNNER,
+        "v": SCHEMA_VERSION,
+        "path": path,
+        "error": error,
     }
 
 
@@ -424,6 +515,7 @@ EVENT_SCHEMAS: Mapping[str, tuple] = {
             "label": _string,
             "attempt": _is_int,
             "reason": _enum(*_FAILURE_REASONS),
+            "backoff_s": _is_number,
         },
     ),
     "task_failed": (
@@ -467,6 +559,38 @@ EVENT_SCHEMAS: Mapping[str, tuple] = {
             "action": _enum(*_CHECKPOINT_ACTIONS),
             "tasks": _is_int,
             "path": _string,
+        },
+    ),
+    "job": (
+        RUNNER,
+        {
+            "phase": _enum(*_JOB_PHASES),
+            "tenant": _string,
+            "job": _string,
+            "detail": _optional_string,
+        },
+    ),
+    "queue": (
+        RUNNER,
+        {
+            "action": _enum(*_QUEUE_ACTIONS),
+            "tenant": _string,
+            "depth": _is_int,
+            "deficit": _is_number,
+        },
+    ),
+    "breaker": (
+        RUNNER,
+        {
+            "state": _enum(*_BREAKER_STATES),
+            "failures": _is_int,
+        },
+    ),
+    "sink_degraded": (
+        RUNNER,
+        {
+            "path": _string,
+            "error": _string,
         },
     ),
 }

@@ -22,12 +22,13 @@ from __future__ import annotations
 
 import json
 import os
+import sys
 from collections import deque
 from pathlib import Path
 from typing import Mapping, Optional, Union
 
 from repro.errors import ConfigurationError
-from repro.telemetry.events import CATEGORIES
+from repro.telemetry.events import CATEGORIES, sink_degraded_event
 from repro.telemetry.profile import PROFILE
 
 __all__ = ["TraceSink", "NullSink", "RingBufferSink", "JsonlSink"]
@@ -118,6 +119,16 @@ class JsonlSink(TraceSink):
     ``fork`` each worker reopens the file itself, and lines are written
     with one ``os.write`` to an ``O_APPEND`` descriptor, so a shared
     trace file collects whole lines from every worker.
+
+    **Tracing must never take the run down.** A write that fails with an
+    environmental ``OSError`` (disk full, a closed pipe, a yanked
+    volume) *degrades* the sink instead of propagating: one warning is
+    printed to stderr, a ``sink_degraded`` trace event is appended
+    best-effort (and kept on :attr:`degraded_event` for in-process
+    consumers), and from then on the sink behaves like a
+    :class:`NullSink` -- ``wants`` answers ``False`` and ``emit`` is a
+    no-op. Simulation results are bit-identical either way, because
+    tracing is observation only.
     """
 
     def __init__(
@@ -127,6 +138,15 @@ class JsonlSink(TraceSink):
         self.path = Path(path)
         self._fd: Optional[int] = None
         self._fd_pid: Optional[int] = None
+        #: True once a failed write flipped the sink to null behavior.
+        self.degraded = False
+        #: The ``sink_degraded`` event recorded at the flip (None before).
+        self.degraded_event: Optional[dict] = None
+
+    def wants(self, category: str) -> bool:
+        if self.degraded:
+            return False
+        return super().wants(category)
 
     def _descriptor(self) -> int:
         pid = os.getpid()
@@ -138,14 +158,46 @@ class JsonlSink(TraceSink):
             self._fd_pid = pid
         return self._fd
 
+    def _degrade(self, error: OSError) -> None:
+        """Flip to null behavior after an unwritable-file error."""
+        self.degraded = True
+        self.degraded_event = sink_degraded_event(
+            str(self.path), f"{type(error).__name__}: {error}"
+        )
+        print(
+            f"[trace] warning: trace sink {self.path} is unwritable "
+            f"({error}); degrading to a null sink -- simulation results "
+            "are unaffected",
+            file=sys.stderr,
+        )
+        # Best-effort: the failure may be transient (EPIPE on one fd,
+        # a rotated volume); if even this line cannot land, the event
+        # still lives on ``degraded_event``.
+        try:
+            line = json.dumps(
+                self.degraded_event, separators=(",", ":"), allow_nan=False
+            )
+            os.write(self._descriptor(), line.encode("utf-8") + b"\n")
+        except OSError:
+            pass
+
     def emit(self, event: Mapping[str, object]) -> None:
+        if self.degraded:
+            return
         line = json.dumps(event, separators=(",", ":"), allow_nan=False)
-        os.write(self._descriptor(), line.encode("utf-8") + b"\n")
+        try:
+            os.write(self._descriptor(), line.encode("utf-8") + b"\n")
+        except OSError as error:
+            self._degrade(error)
+            return
         self.emitted += 1
         PROFILE.record_event()
 
     def close(self) -> None:
         if self._fd is not None and self._fd_pid == os.getpid():
-            os.close(self._fd)
+            try:
+                os.close(self._fd)
+            except OSError:  # pragma: no cover - EIO at close
+                pass
         self._fd = None
         self._fd_pid = None

@@ -1,0 +1,152 @@
+"""Circuit breaker state machine: trip, cooldown, probe, recovery."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.service.breaker import CircuitBreaker
+from repro.telemetry import RingBufferSink, tracing
+
+
+def _breaker(**kwargs):
+    defaults = {"window": 4, "threshold": 2, "cooldown": 3}
+    defaults.update(kwargs)
+    return CircuitBreaker(**defaults)
+
+
+class TestConstruction:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"window": 0},
+            {"threshold": 0},
+            {"cooldown": 0},
+            {"window": 2, "threshold": 3},  # threshold > window
+        ],
+    )
+    def test_bad_parameters_are_rejected(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            _breaker(**kwargs)
+
+
+class TestTrip:
+    def test_starts_closed_and_allows_dispatch(self):
+        breaker = _breaker()
+        assert breaker.state == "closed"
+        assert breaker.allows_dispatch() is True
+
+    def test_threshold_failures_open_the_breaker(self):
+        breaker = _breaker(threshold=2)
+        breaker.record("crash")
+        assert breaker.state == "closed"
+        breaker.record("timeout")
+        assert breaker.state == "open"
+        assert breaker.allows_dispatch() is False
+
+    def test_successes_dilute_the_window(self):
+        breaker = _breaker(window=3, threshold=2)
+        breaker.record("crash")
+        breaker.record(None)
+        breaker.record(None)
+        # The crash has been evicted from the 3-wide window.
+        breaker.record("crash")
+        assert breaker.state == "closed"
+
+    @pytest.mark.parametrize("reason", ["invariant", "error"])
+    def test_deterministic_failures_do_not_trip(self, reason):
+        """A simulation invariant violation (or the task's own
+        exception) is the *work* misbehaving, not the environment --
+        pausing dispatch would not help."""
+        breaker = _breaker(threshold=1)
+        for _ in range(5):
+            breaker.record(reason)
+        assert breaker.state == "closed"
+
+    def test_failures_property_counts_only_environmental(self):
+        breaker = _breaker(window=8, threshold=8)
+        for reason in ("crash", "invariant", None, "timeout"):
+            breaker.record(reason)
+        assert breaker.failures == 2
+
+
+class TestRecovery:
+    def _tripped(self, **kwargs):
+        breaker = _breaker(**kwargs)
+        breaker.record("crash")
+        breaker.record("crash")
+        assert breaker.state == "open"
+        return breaker
+
+    def test_cooldown_cycles_reach_half_open(self):
+        breaker = self._tripped(cooldown=3)
+        breaker.on_cycle()
+        breaker.on_cycle()
+        assert breaker.state == "open"
+        breaker.on_cycle()
+        assert breaker.state == "half_open"
+
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = self._tripped(cooldown=1)
+        breaker.on_cycle()
+        assert breaker.allows_dispatch() is True
+        breaker.on_dispatch()
+        assert breaker.allows_dispatch() is False
+
+    def test_probe_success_closes_and_clears_the_window(self):
+        breaker = self._tripped(cooldown=1)
+        breaker.on_cycle()
+        breaker.on_dispatch()
+        breaker.record(None)
+        assert breaker.state == "closed"
+        assert breaker.failures == 0
+        # One fresh failure must not instantly re-trip.
+        breaker.record("crash")
+        assert breaker.state == "closed"
+
+    def test_probe_failure_reopens_for_a_full_cooldown(self):
+        breaker = self._tripped(cooldown=2)
+        breaker.on_cycle()
+        breaker.on_cycle()
+        breaker.on_dispatch()
+        breaker.record("crash")
+        assert breaker.state == "open"
+        breaker.on_cycle()
+        assert breaker.state == "open"
+        breaker.on_cycle()
+        assert breaker.state == "half_open"
+
+    def test_transition_history_records_the_full_sequence(self):
+        breaker = self._tripped(cooldown=1)
+        breaker.on_cycle()
+        breaker.on_dispatch()
+        breaker.record(None)
+        assert breaker.transitions == ["open", "half_open", "closed"]
+
+    def test_cycles_while_closed_are_noops(self):
+        breaker = _breaker()
+        for _ in range(10):
+            breaker.on_cycle()
+        assert breaker.state == "closed"
+        assert breaker.transitions == []
+
+
+class TestTelemetry:
+    def test_transitions_emit_breaker_events(self):
+        sink = RingBufferSink()
+        with tracing(sink):
+            breaker = _breaker(threshold=2, cooldown=1)
+            breaker.record("crash")
+            breaker.record("timeout")
+            breaker.on_cycle()
+            breaker.on_dispatch()
+            breaker.record(None)
+        events = [e for e in sink.events if e["event"] == "breaker"]
+        assert [e["state"] for e in events] == [
+            "open", "half_open", "closed",
+        ]
+        # The open event reports the failure burst that tripped it.
+        assert events[0]["failures"] == 2
+
+    def test_no_sink_means_no_emission_and_no_error(self):
+        breaker = _breaker(threshold=1)
+        breaker.record("crash")
+        assert breaker.state == "open"

@@ -15,12 +15,16 @@ from repro.telemetry.events import (
     EVENT_SCHEMAS,
     SCHEMA_VERSION,
     batch_event,
+    breaker_event,
     cache_event,
     checkpoint_event,
     controller_sample,
+    job_event,
     parse_categories,
+    queue_event,
     segment_end,
     shard_event,
+    sink_degraded_event,
     stall,
     task_event,
     task_failed,
@@ -62,6 +66,8 @@ class TestBuilders:
             cache_event("corrupt", "gcc:eon"),
             cache_event("sweep", "tmp-123.tmp"),
             task_retry("soe_pair", "gcc:eon@F0.5", 2, "timeout"),
+            task_retry("soe_pair", "gcc:eon@F0.5", 2, "crash",
+                       backoff_s=0.375),
             task_failed("soe_pair", "gcc:eon@F0.5", 3, "crash"),
             checkpoint_event("write", 1, "grid.ckpt"),
             checkpoint_event("resume", 7, "grid.ckpt"),
@@ -69,6 +75,12 @@ class TestBuilders:
             batch_event("stop", "batch", 64, iterations=2945),
             shard_event("start", 0, 4, 16, "batch"),
             shard_event("stop", 3, 4, 15, "batch"),
+            job_event("submitted", "tenant-a", "ab12cd34"),
+            job_event("rejected", "tenant-a", "ab12cd34",
+                      detail="queue full"),
+            queue_event("enqueue", "tenant-a", 3, 1.0),
+            breaker_event("open", 5),
+            sink_degraded_event("trace.jsonl", "OSError: ENOSPC"),
         ]
         for event in events:
             assert validate_event(event) is event
@@ -86,6 +98,10 @@ class TestBuilders:
             checkpoint_event("write", 1, "p"),
             batch_event("start", "batch", 1),
             shard_event("start", 0, 2, 8, "batch"),
+            job_event("submitted", "t", "j"),
+            queue_event("enqueue", "t", 1, 0.0),
+            breaker_event("closed", 0),
+            sink_degraded_event("p", "e"),
         )}
         assert built == set(EVENT_SCHEMAS)
 
@@ -102,9 +118,9 @@ class TestBuilders:
             bad["policy"] = 42
             validate_event(bad)
 
-    def test_schema_version_is_two(self):
-        assert SCHEMA_VERSION == 2
-        assert task_event("start", "k", "l", 1)["v"] == 2
+    def test_schema_version_is_three(self):
+        assert SCHEMA_VERSION == 3
+        assert task_event("start", "k", "l", 1)["v"] == 3
 
     def test_nonfinite_floats_encode_as_strings(self):
         event = _sample()

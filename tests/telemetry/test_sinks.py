@@ -165,3 +165,90 @@ class TestAmbientSink:
     def test_package_exports_match(self):
         for name in telemetry.__all__:
             assert hasattr(telemetry, name)
+
+
+class TestJsonlSinkDegrade:
+    """An unwritable trace file degrades the sink, never the run."""
+
+    def _fail_data_writes(self, monkeypatch):
+        """Make os.write fail for event lines (but not the degrade
+        self-report), as a full disk would."""
+        import os as os_module
+
+        real_write = os_module.write
+
+        def failing_write(fd, data):
+            if b"sink_degraded" not in data:
+                raise OSError(28, "No space left on device")
+            return real_write(fd, data)
+
+        monkeypatch.setattr(
+            "repro.telemetry.sinks.os.write", failing_write
+        )
+
+    def test_failed_write_degrades_to_null(self, tmp_path, monkeypatch, capsys):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        self._fail_data_writes(monkeypatch)
+        sink.emit(thread_switch(1.0, 0, "miss", "engine"))
+        assert sink.degraded is True
+        assert sink.emitted == 0
+        # From now on the sink behaves like a NullSink: emitters that
+        # gate on wants() stop building events entirely.
+        for category in (CONTROLLER, SWITCH, RUNNER):
+            assert sink.wants(category) is False
+        sink.emit(thread_switch(2.0, 0, "miss", "engine"))  # silent no-op
+        assert sink.emitted == 0
+        warning = capsys.readouterr().err
+        assert "degrading to a null sink" in warning
+        assert str(tmp_path / "trace.jsonl") in warning
+        sink.close()
+
+    def test_degrade_warns_exactly_once(self, tmp_path, monkeypatch, capsys):
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        self._fail_data_writes(monkeypatch)
+        sink.emit(thread_switch(1.0, 0, "miss", "engine"))
+        sink.emit(thread_switch(2.0, 0, "miss", "engine"))
+        assert capsys.readouterr().err.count("degrading") == 1
+        sink.close()
+
+    def test_degrade_event_is_recorded_and_journaled(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.telemetry.events import validate_event, validate_trace_file
+
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        self._fail_data_writes(monkeypatch)
+        sink.emit(thread_switch(1.0, 0, "miss", "engine"))
+        event = sink.degraded_event
+        assert event is not None
+        assert validate_event(event)["path"] == str(path)
+        assert "No space left" in event["error"]
+        # The self-report landed as the file's only (valid) line.
+        assert validate_trace_file(path) == 1
+        sink.close()
+
+    def test_degrade_without_writable_file_keeps_event_in_memory(
+        self, tmp_path, capsys
+    ):
+        import os as os_module
+
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.emit(thread_switch(1.0, 0, "miss", "engine"))
+        # Yank the descriptor out from under the sink: every later
+        # write (including the best-effort self-report) hits EBADF.
+        os_module.close(sink._fd)
+        sink.emit(thread_switch(2.0, 0, "miss", "engine"))
+        assert sink.degraded is True
+        assert sink.degraded_event is not None
+        assert "degrading" in capsys.readouterr().err
+        sink._fd = None  # already closed; keep close() from re-closing
+        sink.close()
+
+    def test_close_swallows_descriptor_errors(self, tmp_path):
+        import os as os_module
+
+        sink = JsonlSink(tmp_path / "trace.jsonl")
+        sink.emit(thread_switch(1.0, 0, "miss", "engine"))
+        os_module.close(sink._fd)
+        sink.close()  # must not raise on the already-closed fd
